@@ -1,0 +1,9 @@
+"""Benchmark harness regenerating every table and figure of the paper.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Each module regenerates one table/figure (see DESIGN.md Section 4 for the
+experiment index) and asserts the paper's qualitative claims about it.
+"""

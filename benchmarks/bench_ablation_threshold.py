@@ -1,0 +1,71 @@
+"""Ablation — lossy threshold eps vs compression ratio and fidelity.
+
+Section 5.2: "If eps is too small, we obtain a low compression ratio.  If
+eps is too high, the compressed trace may not accurately reflect the
+original trace.  We found experimentally that eps = 0.1 provides high
+compression ratios while preserving the memory locality information."
+
+This bench sweeps eps on a moderately phased trace and checks both halves of
+that trade-off:
+
+* the number of stored chunks (hence the compressed size) is non-increasing
+  in eps;
+* the miss-ratio error is non-decreasing (within tolerance) in eps, and is
+  still small at the paper's eps = 0.1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.analysis.comparison import compare_miss_ratio_surfaces
+from repro.core.lossy import LossyConfig
+
+_THRESHOLDS = (0.01, 0.05, 0.1, 0.3, 1.0)
+_INTERVAL = 10_000
+
+
+def _build_trace() -> np.ndarray:
+    """A drifting-working-set trace: phases resemble each other imperfectly."""
+    rng = np.random.default_rng(55)
+    phases = []
+    for index in range(8):
+        base = (1 << 22) + index * (1 << 14)
+        size = 3_000 + 250 * index
+        phases.append(rng.integers(0, size, size=_INTERVAL, dtype=np.uint64) + np.uint64(base))
+    return np.concatenate(phases)
+
+
+def _sweep_thresholds() -> Dict[float, Dict[str, float]]:
+    trace = _build_trace()
+    results = {}
+    for threshold in _THRESHOLDS:
+        config = LossyConfig(interval_length=_INTERVAL, threshold=threshold)
+        outcome = compare_miss_ratio_surfaces(trace, set_counts=[256], config=config)
+        results[threshold] = {
+            "chunks": outcome.num_chunks,
+            "bpa": outcome.bits_per_address,
+            "max_error": outcome.max_miss_ratio_error,
+        }
+    return results
+
+
+def test_ablation_threshold_tradeoff(benchmark):
+    results = benchmark.pedantic(_sweep_thresholds, rounds=1, iterations=1)
+    print()
+    print("Ablation: lossy threshold eps (8 intervals, drifting working set)")
+    print(f"{'eps':>6} {'chunks':>8} {'bits/addr':>11} {'max miss-ratio error':>22}")
+    for threshold in _THRESHOLDS:
+        row = results[threshold]
+        print(f"{threshold:>6.2f} {row['chunks']:>8d} {row['bpa']:>11.3f} {row['max_error']:>22.4f}")
+    chunk_counts = [results[t]["chunks"] for t in _THRESHOLDS]
+    bpa_values = [results[t]["bpa"] for t in _THRESHOLDS]
+    # Raising the threshold can only merge more intervals into fewer chunks.
+    assert all(a >= b for a, b in zip(chunk_counts, chunk_counts[1:]))
+    assert all(a >= b * 0.95 for a, b in zip(bpa_values, bpa_values[1:]))
+    # At the paper's threshold the fidelity must still be good.
+    assert results[0.1]["max_error"] < 0.1
+    # A tiny threshold keeps (almost) every interval as its own chunk.
+    assert results[0.01]["chunks"] >= results[1.0]["chunks"]

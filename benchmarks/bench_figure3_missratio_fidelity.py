@@ -1,0 +1,77 @@
+"""Figure 3 — cache miss ratios of exact vs lossy traces.
+
+The paper simulates set-associative LRU caches (sets 2k-512k, associativity
+1-32) from the exact trace and from the lossy-compressed trace and shows
+that the miss-ratio curves nearly coincide; "even when there is some
+distortion, the shape of the miss ratio curves is preserved".
+
+This bench runs the same sweep (scaled set counts) for a subset of the
+synthetic traces and asserts that the worst-case absolute miss-ratio error
+stays small, and that miss ratios keep their monotone-in-associativity
+shape on the lossy trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from benchmarks.conftest import FIGURE3_SET_COUNTS, LOSSY_INTERVAL, LOSSY_THRESHOLD, SMALL_BUFFER
+from repro.analysis.comparison import compare_miss_ratio_surfaces
+from repro.analysis.reporting import render_series
+from repro.cache.sweep import DEFAULT_ASSOCIATIVITIES
+from repro.core.lossy import LossyConfig
+
+
+def _run_sweeps(figure_traces) -> Dict[str, object]:
+    config = LossyConfig(
+        interval_length=LOSSY_INTERVAL,
+        threshold=LOSSY_THRESHOLD,
+        chunk_buffer_addresses=SMALL_BUFFER,
+    )
+    results = {}
+    for name, trace in figure_traces.items():
+        if len(trace) < 2 * LOSSY_INTERVAL:
+            continue
+        results[name] = compare_miss_ratio_surfaces(
+            trace.addresses,
+            set_counts=FIGURE3_SET_COUNTS,
+            config=config,
+            trace_name=name,
+        )
+    return results
+
+
+def test_figure3_miss_ratio_fidelity(figure_traces, benchmark):
+    results = benchmark.pedantic(_run_sweeps, args=(figure_traces,), rounds=1, iterations=1)
+    print()
+    assert results, "no trace was long enough for the Figure 3 sweep"
+    worst_errors = {}
+    for name, result in results.items():
+        series = {}
+        for sets in FIGURE3_SET_COUNTS:
+            series[f"exact {sets} sets"] = result.exact_surface.series(sets, DEFAULT_ASSOCIATIVITIES)
+            series[f"lossy {sets} sets"] = result.lossy_surface.series(sets, DEFAULT_ASSOCIATIVITIES)
+        print(
+            render_series(
+                f"Figure 3 (reproduction) — {name}: miss ratio vs associativity "
+                f"(max |error| {result.max_miss_ratio_error:.3f}, "
+                f"mean |error| {result.mean_miss_ratio_error:.3f})",
+                x_label="associativity",
+                x_values=DEFAULT_ASSOCIATIVITIES,
+                series=series,
+            )
+        )
+        print()
+        worst_errors[name] = result.max_miss_ratio_error
+        # Shape preservation: lossy miss ratio must still be non-increasing
+        # in associativity for every set count.
+        for sets in FIGURE3_SET_COUNTS:
+            lossy_series = result.lossy_surface.series(sets, DEFAULT_ASSOCIATIVITIES)
+            assert all(a >= b - 1e-9 for a, b in zip(lossy_series, lossy_series[1:]))
+        # Footprint must be roughly preserved (no myopic-interval collapse).
+        assert result.distinct_ratio > 0.7, name
+    # Fidelity: on average the worst-case error stays small; individual
+    # traces may show visible but bounded distortion (as in the paper).
+    average_worst = sum(worst_errors.values()) / len(worst_errors)
+    assert average_worst < 0.12, worst_errors
+    assert max(worst_errors.values()) < 0.30, worst_errors

@@ -1,0 +1,60 @@
+"""Figure 5 — C/DC address-predictor behaviour on exact vs lossy traces.
+
+The paper simulates an address predictor based on the C/DC prefetcher
+(64 KB CZones, 256-entry index table, 256-entry GHB, 2-delta correlation
+key) on both the exact and the lossy-compressed trace and shows the
+breakdown of non-predicted / correctly predicted / mispredicted addresses is
+nearly the same: "overall the lossy-compressed traces look like the exact
+ones".
+
+This bench runs the same predictor over a subset of the synthetic traces
+and asserts that the per-trace breakdown distributions of exact and lossy
+traces stay close (small L1 distance).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from benchmarks.conftest import LOSSY_INTERVAL, LOSSY_THRESHOLD, SMALL_BUFFER
+from repro.analysis.comparison import compare_cdc_breakdowns
+from repro.analysis.reporting import render_breakdown_table
+from repro.core.lossy import LossyConfig
+from repro.predictors.cdc import CdcConfig
+
+
+def _run_predictor_study(figure_traces) -> Dict[str, Tuple]:
+    config = LossyConfig(
+        interval_length=LOSSY_INTERVAL,
+        threshold=LOSSY_THRESHOLD,
+        chunk_buffer_addresses=SMALL_BUFFER,
+    )
+    cdc_config = CdcConfig()
+    results = {}
+    for name, trace in figure_traces.items():
+        if len(trace) < 2 * LOSSY_INTERVAL:
+            continue
+        results[name] = compare_cdc_breakdowns(trace.addresses, config=config, cdc_config=cdc_config)
+    return results
+
+
+def test_figure5_cdc_predictor_fidelity(figure_traces, benchmark):
+    results = benchmark.pedantic(_run_predictor_study, args=(figure_traces,), rounds=1, iterations=1)
+    assert results, "no trace was long enough for the Figure 5 study"
+    breakdowns = {}
+    distances = {}
+    for name, (exact, lossy, distance) in results.items():
+        breakdowns[f"{name} exact"] = exact.fractions()
+        breakdowns[f"{name} lossy"] = lossy.fractions()
+        distances[name] = distance
+    print()
+    print(render_breakdown_table("Figure 5 (reproduction): C/DC outcome breakdown", breakdowns))
+    print("\nL1 distance between exact and lossy breakdowns per trace:")
+    for name, distance in sorted(distances.items()):
+        print(f"  {name:<18} {distance:.3f}")
+    # The lossy trace "looks like" the exact one to the predictor: the
+    # average distributional distance stays small, and no trace is wildly off
+    # (the paper itself notes a little distortion on some traces).
+    average_distance = sum(distances.values()) / len(distances)
+    assert average_distance < 0.15, distances
+    assert max(distances.values()) < 0.45, distances

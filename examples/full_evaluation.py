@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Run the complete evaluation programmatically and write a text report.
+
+This example drives :class:`repro.analysis.harness.EvaluationHarness`, the
+programmatic counterpart of the pytest benchmark suite: it regenerates the
+Table 1 / Table 3 comparisons and the Figure 3 / Figure 5 fidelity studies
+on a configurable subset of the SPEC-like workloads, then augments them with
+the extended reuse-distance fidelity check (not in the paper, but implied by
+its "memory-locality is preserved" claim).
+
+Run with:  python examples/full_evaluation.py [output-file]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.harness import EvaluationHarness, EvaluationScale
+from repro.analysis.reuse import reuse_distance_histogram
+from repro.core.lossy import LossyCodec
+
+WORKLOADS = ("410.bwaves", "429.mcf", "433.milc", "458.sjeng", "462.libquantum", "470.lbm")
+FIGURE_WORKLOADS = ("429.mcf", "458.sjeng")
+
+
+def reuse_fidelity_section(harness: EvaluationHarness) -> str:
+    """Extended check: lossy traces preserve the reuse-distance distribution."""
+    lines = ["Reuse-distance fidelity (extension): L1 distance between exact and lossy distributions"]
+    codec = LossyCodec(harness.scale.lossy_config())
+    for name in FIGURE_WORKLOADS:
+        trace = harness.trace(name)
+        if len(trace) < 2 * harness.scale.interval_length:
+            continue
+        approx = codec.decompress(codec.compress(trace.addresses))
+        distance = reuse_distance_histogram(trace.addresses).l1_distance(
+            reuse_distance_histogram(approx)
+        )
+        lines.append(f"  {name:<18} {distance:.4f}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    scale = EvaluationScale(references_per_workload=25_000, interval_length=4_000)
+    harness = EvaluationHarness(scale, workloads=WORKLOADS)
+    report = harness.full_report(figure_workloads=FIGURE_WORKLOADS)
+    report = report + "\n\n" + reuse_fidelity_section(harness)
+    if len(sys.argv) > 1:
+        with open(sys.argv[1], "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"report written to {sys.argv[1]}")
+    else:
+        print(report)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Figure 8 reproduction: lossy-compressing random 64-bit values.
+
+The paper feeds 100 M random 64-bit values to ``bin2atc``: ATC detects that
+every interval looks like the first one, stores a single chunk plus the byte
+translations, and achieves a compression ratio of about 10 (one chunk for
+ten intervals).  This script does the same with the library's streaming API
+and container format, at a smaller scale.
+
+Run with:  python examples/random_values_demo.py
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.atc import MODE_LOSSY, AtcDecoder, AtcEncoder
+from repro.core.lossy import LossyConfig
+
+TOTAL_VALUES = 200_000
+INTERVAL_LENGTH = 20_000
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    values = rng.integers(0, 1 << 64, size=TOTAL_VALUES, dtype=np.uint64)
+    workdir = Path(tempfile.mkdtemp(prefix="atc-demo-"))
+    container = workdir / "foobar"
+    config = LossyConfig(interval_length=INTERVAL_LENGTH, chunk_buffer_addresses=INTERVAL_LENGTH)
+    try:
+        with AtcEncoder(container, mode=MODE_LOSSY, config=config) as encoder:
+            encoder.code_many(values)
+        decoder = AtcDecoder(container)
+        decoded = decoder.read_all()
+        stored_chunks = len(decoder.container.chunk_ids())
+        compressed_bytes = decoder.compressed_bytes()
+        ratio = values.size * 8 / compressed_bytes
+        print(f"input values        : {values.size} random 64-bit values")
+        print(f"intervals           : {values.size // INTERVAL_LENGTH}")
+        print(f"chunks stored       : {stored_chunks}")
+        print("container contents  :")
+        for entry in sorted(container.iterdir()):
+            print(f"  {entry.stat().st_size:>10} {entry.name}")
+        print(f"compression ratio   : {ratio:.1f}x (paper's Figure 8: ~10x)")
+        print(f"decoded length      : {decoded.size} (must equal input length)")
+        assert decoded.size == values.size
+    finally:
+        shutil.rmtree(workdir)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Reproduction of "Online compression of cache-filtered address traces".
+
+The library implements the ATC trace compressor (Michaud, ISPASS 2009) and
+every substrate its evaluation relies on: synthetic SPEC-like workloads, the
+L1 cache filter, multi-configuration cache simulation, value/address
+predictors (the TCgen/VPC-style baseline and the C/DC predictor) and the
+metric/reporting layer used by the benchmark harness.
+
+Quick tour of the public API (see the package README for a walkthrough):
+
+* :mod:`repro.core` — the paper's contribution: bytesort, the lossy
+  phase-based codec, and the ATC streaming encoder/decoder + container.
+* :mod:`repro.traces` — trace types, synthetic workloads and the cache
+  filter that produces cache-filtered address traces.
+* :mod:`repro.cache` — set-associative caches and the stack-distance
+  simulator used for miss-ratio sweeps.
+* :mod:`repro.predictors` — the VPC/TCgen baseline compressor and the C/DC
+  address predictor.
+* :mod:`repro.baselines` — bzip2-alone, byte-unshuffling and delta baselines.
+* :mod:`repro.analysis` — metrics, exact-vs-lossy comparison pipelines and
+  text-table reporting.
+"""
+
+from repro.core.atc import (
+    AtcDecoder,
+    AtcEncoder,
+    atc_open,
+    compress_trace,
+    decompress_trace,
+)
+from repro.core.bytesort import (
+    bytesort_inverse,
+    bytesort_inverse_window,
+    bytesort_transform,
+    bytesort_window,
+)
+from repro.core.lossless import LosslessCodec, lossless_compress, lossless_decompress
+from repro.core.lossy import LossyCodec, LossyCompressed, LossyConfig, lossy_compress, lossy_decompress
+from repro.errors import (
+    CodecError,
+    ConfigurationError,
+    ContainerError,
+    ReproError,
+    TraceFormatError,
+)
+from repro.traces.filter import CacheFilter, filtered_spec_like_trace
+from repro.traces.spec_like import SPEC_LIKE_NAMES, spec_like_suite
+from repro.traces.trace import AddressTrace, read_raw_trace, write_raw_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core codecs
+    "AtcEncoder",
+    "AtcDecoder",
+    "atc_open",
+    "compress_trace",
+    "decompress_trace",
+    "LosslessCodec",
+    "lossless_compress",
+    "lossless_decompress",
+    "LossyCodec",
+    "LossyConfig",
+    "LossyCompressed",
+    "lossy_compress",
+    "lossy_decompress",
+    "bytesort_window",
+    "bytesort_inverse_window",
+    "bytesort_transform",
+    "bytesort_inverse",
+    # traces
+    "AddressTrace",
+    "read_raw_trace",
+    "write_raw_trace",
+    "CacheFilter",
+    "filtered_spec_like_trace",
+    "spec_like_suite",
+    "SPEC_LIKE_NAMES",
+    # errors
+    "ReproError",
+    "TraceFormatError",
+    "ContainerError",
+    "CodecError",
+    "ConfigurationError",
+]

@@ -1,0 +1,46 @@
+"""Metrics, comparison pipelines and text reporting for the evaluation."""
+
+from repro.analysis.comparison import (
+    LossyFidelityResult,
+    compare_cdc_breakdowns,
+    compare_miss_ratio_surfaces,
+    regenerate_lossy_trace,
+)
+from repro.analysis.metrics import (
+    BpaTableRow,
+    arithmetic_mean,
+    bits_per_address,
+    compression_ratio,
+    distinct_address_ratio,
+    sequence_length_preserved,
+)
+from repro.analysis.harness import EvaluationHarness, EvaluationScale
+from repro.analysis.reporting import render_breakdown_table, render_series, render_table
+from repro.analysis.reuse import (
+    ReuseDistanceHistogram,
+    footprint_curve,
+    reuse_distance_histogram,
+    working_set_sizes,
+)
+
+__all__ = [
+    "EvaluationHarness",
+    "EvaluationScale",
+    "ReuseDistanceHistogram",
+    "reuse_distance_histogram",
+    "footprint_curve",
+    "working_set_sizes",
+    "bits_per_address",
+    "compression_ratio",
+    "arithmetic_mean",
+    "distinct_address_ratio",
+    "sequence_length_preserved",
+    "BpaTableRow",
+    "LossyFidelityResult",
+    "regenerate_lossy_trace",
+    "compare_miss_ratio_surfaces",
+    "compare_cdc_breakdowns",
+    "render_table",
+    "render_series",
+    "render_breakdown_table",
+]

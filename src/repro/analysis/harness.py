@@ -1,0 +1,199 @@
+"""Programmatic experiment runner.
+
+The benchmark modules under ``benchmarks/`` regenerate the paper's tables
+and figures through pytest.  This module exposes the same experiments as
+plain functions returning structured results, so they can be scripted
+(``examples/full_evaluation.py``), embedded in notebooks, or re-run at a
+different scale without going through the test runner.  Each runner mirrors
+one bench module; the bench modules stay the source of truth for the
+assertions, the harness is the convenience layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.comparison import LossyFidelityResult, compare_cdc_breakdowns, compare_miss_ratio_surfaces
+from repro.analysis.metrics import arithmetic_mean, bits_per_address
+from repro.analysis.reporting import render_breakdown_table, render_series, render_table
+from repro.baselines.generic import raw_bits_per_address
+from repro.baselines.unshuffle import unshuffled_bits_per_address
+from repro.core.lossless import lossless_bits_per_address
+from repro.core.lossy import LossyCodec, LossyConfig
+from repro.predictors.vpc import VpcCodec
+from repro.traces.filter import filtered_spec_like_trace
+from repro.traces.spec_like import SPEC_LIKE_NAMES
+from repro.traces.trace import AddressTrace
+
+__all__ = ["EvaluationScale", "EvaluationHarness", "LosslessComparison", "LossyComparison"]
+
+
+@dataclass(frozen=True)
+class EvaluationScale:
+    """Scale knobs shared by every experiment (see benchmarks/conftest.py).
+
+    Attributes:
+        references_per_workload: References generated before cache filtering.
+        small_buffer: Bytesort buffer standing in for the paper's 1 M.
+        big_buffer: Bytesort buffer standing in for the paper's 10 M.
+        interval_length: Lossy interval length standing in for 10 M.
+        threshold: Lossy threshold (paper: 0.1).
+        set_counts: Cache set counts for the miss-ratio sweeps.
+        seed: Workload generation seed.
+    """
+
+    references_per_workload: int = 30_000
+    small_buffer: int = 4_000
+    big_buffer: int = 64_000
+    interval_length: int = 5_000
+    threshold: float = 0.1
+    set_counts: Sequence[int] = (64, 256, 1024)
+    seed: int = 0
+
+    def lossy_config(self, enable_translation: bool = True) -> LossyConfig:
+        """The lossy configuration implied by the scale."""
+        return LossyConfig(
+            interval_length=self.interval_length,
+            threshold=self.threshold,
+            chunk_buffer_addresses=self.small_buffer,
+            enable_translation=enable_translation,
+        )
+
+
+@dataclass(frozen=True)
+class LosslessComparison:
+    """Per-trace Table 1 row plus the rendered table."""
+
+    rows: Dict[str, Dict[str, float]]
+    means: Dict[str, float]
+    text: str
+
+
+@dataclass(frozen=True)
+class LossyComparison:
+    """Per-trace Table 3 row plus the rendered table."""
+
+    rows: Dict[str, Dict[str, float]]
+    means: Dict[str, float]
+    text: str
+
+
+class EvaluationHarness:
+    """Regenerates the paper's experiments programmatically.
+
+    Traces are generated lazily and cached, so running several experiments
+    over the same workload set only pays the filtering cost once.
+    """
+
+    def __init__(self, scale: EvaluationScale = EvaluationScale(), workloads: Optional[Sequence[str]] = None) -> None:
+        self.scale = scale
+        self.workloads = tuple(workloads) if workloads is not None else SPEC_LIKE_NAMES
+        self._traces: Dict[str, AddressTrace] = {}
+
+    # -- trace cache ------------------------------------------------------------------
+    def trace(self, name: str) -> AddressTrace:
+        """The cache-filtered trace of one workload (generated on demand)."""
+        if name not in self._traces:
+            self._traces[name] = filtered_spec_like_trace(
+                name, self.scale.references_per_workload, seed=self.scale.seed
+            )
+        return self._traces[name]
+
+    def traces(self, minimum_length: int = 1_000) -> Dict[str, AddressTrace]:
+        """All workload traces at least ``minimum_length`` addresses long."""
+        result = {}
+        for name in self.workloads:
+            trace = self.trace(name)
+            if len(trace) >= minimum_length:
+                result[name] = trace
+        return result
+
+    # -- Table 1 -----------------------------------------------------------------------
+    def lossless_comparison(self, include_vpc: bool = True) -> LosslessComparison:
+        """Table 1: bits per address of the lossless compressors."""
+        columns = ["bz2", "us"] + (["tcg"] if include_vpc else []) + ["bs-small", "bs-big"]
+        rows: Dict[str, Dict[str, float]] = {}
+        for name, trace in self.traces().items():
+            addresses = trace.addresses
+            row = {
+                "bz2": raw_bits_per_address(addresses),
+                "us": unshuffled_bits_per_address(addresses, buffer_addresses=self.scale.small_buffer),
+                "bs-small": lossless_bits_per_address(addresses, buffer_addresses=self.scale.small_buffer),
+                "bs-big": lossless_bits_per_address(addresses, buffer_addresses=self.scale.big_buffer),
+            }
+            if include_vpc:
+                payload = VpcCodec().compress(addresses)
+                row["tcg"] = bits_per_address(len(payload), len(addresses))
+            rows[name] = row
+        means = {column: arithmetic_mean([row[column] for row in rows.values()]) for column in columns}
+        text = render_table("Table 1: lossless bits per address", rows, columns)
+        return LosslessComparison(rows=rows, means=means, text=text)
+
+    # -- Table 3 -----------------------------------------------------------------------
+    def lossy_comparison(self) -> LossyComparison:
+        """Table 3: lossless vs lossy bits per address."""
+        codec = LossyCodec(self.scale.lossy_config())
+        rows: Dict[str, Dict[str, float]] = {}
+        for name, trace in self.traces(minimum_length=2 * self.scale.interval_length).items():
+            addresses = trace.addresses
+            compressed = codec.compress(addresses)
+            rows[name] = {
+                "lossless": lossless_bits_per_address(addresses, buffer_addresses=self.scale.small_buffer),
+                "lossy": compressed.bits_per_address(),
+            }
+        columns = ["lossless", "lossy"]
+        means = {column: arithmetic_mean([row[column] for row in rows.values()]) for column in columns}
+        text = render_table("Table 3: lossless vs lossy bits per address", rows, columns)
+        return LossyComparison(rows=rows, means=means, text=text)
+
+    # -- Figure 3 ----------------------------------------------------------------------
+    def miss_ratio_fidelity(self, workloads: Optional[Sequence[str]] = None) -> Dict[str, LossyFidelityResult]:
+        """Figure 3: exact-vs-lossy miss-ratio surfaces per trace."""
+        config = self.scale.lossy_config()
+        selected = workloads if workloads is not None else self.workloads
+        results = {}
+        for name in selected:
+            trace = self.trace(name)
+            if len(trace) < 2 * self.scale.interval_length:
+                continue
+            results[name] = compare_miss_ratio_surfaces(
+                trace.addresses, set_counts=self.scale.set_counts, config=config, trace_name=name
+            )
+        return results
+
+    # -- Figure 5 ----------------------------------------------------------------------
+    def predictor_fidelity(self, workloads: Optional[Sequence[str]] = None) -> Dict[str, float]:
+        """Figure 5: L1 distance between exact and lossy C/DC breakdowns."""
+        config = self.scale.lossy_config()
+        selected = workloads if workloads is not None else self.workloads
+        distances = {}
+        for name in selected:
+            trace = self.trace(name)
+            if len(trace) < 2 * self.scale.interval_length:
+                continue
+            _, _, distance = compare_cdc_breakdowns(trace.addresses, config=config)
+            distances[name] = distance
+        return distances
+
+    # -- report ------------------------------------------------------------------------
+    def full_report(self, figure_workloads: Optional[Sequence[str]] = None) -> str:
+        """Run every experiment and return one markdown-ish text report."""
+        sections: List[str] = []
+        lossless = self.lossless_comparison()
+        sections.append(lossless.text)
+        lossy = self.lossy_comparison()
+        sections.append(lossy.text)
+        fidelity = self.miss_ratio_fidelity(figure_workloads)
+        for name, result in fidelity.items():
+            sections.append(
+                f"Figure 3 [{name}]: max miss-ratio error {result.max_miss_ratio_error:.4f}, "
+                f"chunks {result.num_chunks}/{result.num_intervals}, "
+                f"lossy {result.bits_per_address:.2f} bits/address"
+            )
+        predictor = self.predictor_fidelity(figure_workloads)
+        for name, distance in predictor.items():
+            sections.append(f"Figure 5 [{name}]: C/DC breakdown distance {distance:.4f}")
+        return "\n\n".join(sections)

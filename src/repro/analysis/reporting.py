@@ -1,0 +1,91 @@
+"""Plain-text rendering of the paper's tables and figure series.
+
+The benchmark harness prints its results in the same shape as the paper's
+tables so that paper-vs-measured comparison (recorded in EXPERIMENTS.md) is
+a column-by-column read.  Only text output is produced — no plotting
+dependency is required or available offline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.analysis.metrics import arithmetic_mean
+
+__all__ = ["render_table", "render_series", "render_breakdown_table"]
+
+
+def render_table(
+    title: str,
+    rows: Mapping[str, Mapping[str, float]],
+    columns: Sequence[str],
+    value_format: str = "{:>10.2f}",
+    mean_row: bool = True,
+) -> str:
+    """Render a Table 1/3-style table: one row per trace, one column per method.
+
+    Args:
+        title: Table caption printed above the grid.
+        rows: ``{trace_name: {column_name: value}}``.
+        columns: Column order.
+        value_format: Format applied to every value cell.
+        mean_row: Append an arithmetic-mean row like the paper's tables.
+    """
+    lines = [title]
+    header = f"{'trace':<18}" + "".join(f"{column:>11}" for column in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for trace_name, values in rows.items():
+        cells = "".join(
+            value_format.format(values[column]) if column in values else f"{'n/a':>10}"
+            for column in columns
+        )
+        lines.append(f"{trace_name:<18}" + cells)
+    if mean_row and rows:
+        means = {
+            column: arithmetic_mean([values[column] for values in rows.values() if column in values])
+            for column in columns
+        }
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'arith. mean':<18}" + "".join(value_format.format(means[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence[float]],
+    value_format: str = "{:>9.4f}",
+) -> str:
+    """Render a Figure 3/4-style family of curves as a text table.
+
+    Each named series becomes a row; the x axis (associativity in Figure 3)
+    becomes the columns.
+    """
+    lines = [title]
+    header = f"{x_label:<26}" + "".join(f"{str(x):>10}" for x in x_values)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, values in series.items():
+        cells = "".join(value_format.format(value) for value in values)
+        lines.append(f"{name:<26} {cells}")
+    return "\n".join(lines)
+
+
+def render_breakdown_table(
+    title: str,
+    breakdowns: Mapping[str, Mapping[str, float]],
+    columns: Sequence[str] = ("non_predicted", "correct", "incorrect"),
+) -> str:
+    """Render Figure 5-style outcome breakdowns (fractions per trace)."""
+    lines = [title]
+    header = f"{'trace / variant':<28}" + "".join(f"{column:>14}" for column in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, fractions in breakdowns.items():
+        cells = "".join(f"{fractions.get(column, 0.0):>13.1%} " for column in columns)
+        lines.append(f"{name:<28}" + cells)
+    return "\n".join(lines)

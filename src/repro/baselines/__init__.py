@@ -1,0 +1,33 @@
+"""Baseline compressors the paper compares against (and related work)."""
+
+from repro.baselines.delta import (
+    compress_delta,
+    decompress_delta,
+    delta_bits_per_address,
+    delta_decode,
+    delta_encode,
+)
+from repro.baselines.generic import compress_raw, decompress_raw, raw_bits_per_address
+from repro.baselines.unshuffle import (
+    compress_unshuffled,
+    decompress_unshuffled,
+    unshuffle_inverse,
+    unshuffle_transform,
+    unshuffled_bits_per_address,
+)
+
+__all__ = [
+    "compress_raw",
+    "decompress_raw",
+    "raw_bits_per_address",
+    "compress_unshuffled",
+    "decompress_unshuffled",
+    "unshuffle_transform",
+    "unshuffle_inverse",
+    "unshuffled_bits_per_address",
+    "compress_delta",
+    "decompress_delta",
+    "delta_encode",
+    "delta_decode",
+    "delta_bits_per_address",
+]

@@ -1,0 +1,92 @@
+"""Byte-unshuffling baseline (Table 1, column "us").
+
+Byte-unshuffling is the first half of bytesort: for a window of N 8-byte
+addresses, output eight blocks of N bytes — the first block holds the first
+byte of every address in sequence order, the second block the second byte,
+and so on — then compress the transformed stream with a byte-level
+compressor.  Unlike bytesort it never reorders addresses between column
+emissions, so it exposes strictly less regularity.
+
+The transform here operates window by window (buffer of ``buffer_addresses``
+addresses) exactly like the streaming bytesort codec, so the comparison in
+the Table 1 bench is apples to apples.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.backend import get_backend
+from repro.errors import CodecError
+from repro.traces.trace import ADDRESS_BYTES, as_address_array
+
+__all__ = [
+    "unshuffle_window",
+    "reshuffle_window",
+    "unshuffle_transform",
+    "unshuffle_inverse",
+    "compress_unshuffled",
+    "decompress_unshuffled",
+    "unshuffled_bits_per_address",
+]
+
+
+def unshuffle_window(addresses: np.ndarray) -> bytes:
+    """Byte-unshuffle one window: column-major byte layout, MSB column first.
+
+    The most significant byte column comes first to match the paper's
+    bytesort output order (Figure 2 emits byte ``LL-1`` first).
+    """
+    values = as_address_array(addresses)
+    columns = values.view(np.uint8).reshape(values.size, ADDRESS_BYTES)
+    # Column 7 is the most significant byte (little-endian storage).
+    return columns[:, ::-1].T.tobytes()
+
+
+def reshuffle_window(payload: bytes) -> np.ndarray:
+    """Invert :func:`unshuffle_window` for one window."""
+    if len(payload) % ADDRESS_BYTES:
+        raise CodecError("unshuffled window length must be a multiple of 8")
+    count = len(payload) // ADDRESS_BYTES
+    columns = np.frombuffer(payload, dtype=np.uint8).reshape(ADDRESS_BYTES, count)
+    return np.ascontiguousarray(columns.T[:, ::-1]).view("<u8").reshape(count).copy()
+
+
+def unshuffle_transform(addresses, buffer_addresses: int = 1_000_000) -> bytes:
+    """Byte-unshuffle a whole trace window by window (no entropy coding)."""
+    values = as_address_array(addresses)
+    pieces: List[bytes] = []
+    for start in range(0, values.size, buffer_addresses):
+        pieces.append(unshuffle_window(values[start : start + buffer_addresses]))
+    return b"".join(pieces)
+
+
+def unshuffle_inverse(payload: bytes, buffer_addresses: int = 1_000_000) -> np.ndarray:
+    """Invert :func:`unshuffle_transform` (window sizes must match)."""
+    window_bytes = buffer_addresses * ADDRESS_BYTES
+    windows = []
+    for start in range(0, len(payload), window_bytes):
+        windows.append(reshuffle_window(payload[start : start + window_bytes]))
+    if not windows:
+        return np.empty(0, dtype=np.uint64)
+    return np.concatenate(windows)
+
+
+def compress_unshuffled(addresses, buffer_addresses: int = 1_000_000, backend="bz2") -> bytes:
+    """Byte-unshuffle then compress with a byte-level back-end."""
+    return get_backend(backend).compress(unshuffle_transform(addresses, buffer_addresses))
+
+
+def decompress_unshuffled(payload: bytes, buffer_addresses: int = 1_000_000, backend="bz2") -> np.ndarray:
+    """Invert :func:`compress_unshuffled`."""
+    return unshuffle_inverse(get_backend(backend).decompress(payload), buffer_addresses)
+
+
+def unshuffled_bits_per_address(addresses, buffer_addresses: int = 1_000_000, backend="bz2") -> float:
+    """Bits per address of the unshuffle+bzip2 baseline (Table 1 column 3)."""
+    values = as_address_array(addresses)
+    if values.size == 0:
+        return 0.0
+    return 8.0 * len(compress_unshuffled(values, buffer_addresses, backend)) / values.size

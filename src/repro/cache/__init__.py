@@ -1,0 +1,22 @@
+"""Cache substrate: set-associative caches and multi-config LRU simulation."""
+
+from repro.cache.cache import CacheConfig, CacheStats, SetAssociativeCache
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.optimal import OptimalCacheSimulator, optimal_miss_ratio
+from repro.cache.stackdist import LruStackSimulator, MissRatioCurve, simulate_miss_curve
+from repro.cache.sweep import DEFAULT_ASSOCIATIVITIES, MissRatioSurface, miss_ratio_sweep
+
+__all__ = [
+    "CacheConfig",
+    "CacheStats",
+    "SetAssociativeCache",
+    "CacheHierarchy",
+    "LruStackSimulator",
+    "MissRatioCurve",
+    "simulate_miss_curve",
+    "MissRatioSurface",
+    "miss_ratio_sweep",
+    "DEFAULT_ASSOCIATIVITIES",
+    "OptimalCacheSimulator",
+    "optimal_miss_ratio",
+]

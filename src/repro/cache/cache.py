@@ -1,0 +1,265 @@
+"""Set-associative cache simulator.
+
+This is the substrate the paper relies on in two places:
+
+* the *cache filter* that turns a full reference stream into a
+  cache-filtered address trace (Section 4.2 uses 32 KB, 4-way, 64-byte
+  blocks, LRU for both the L1 instruction and L1 data cache), and
+* the cache configurations simulated from exact and lossy traces to check
+  that miss ratios are preserved (Figure 3).
+
+The simulator models tags only (no data), which is all that is needed to
+count hits and misses and to emit the miss address stream.  Replacement
+policies: LRU (the paper's policy), FIFO and RANDOM are provided so the
+ablation benches can vary the policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CacheConfig", "CacheStats", "SetAssociativeCache"]
+
+_POLICIES = ("lru", "fifo", "random")
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and policy of one cache level.
+
+    Attributes:
+        num_sets: Number of cache sets (power of two).
+        associativity: Ways per set (>= 1).
+        block_bytes: Cache block (line) size in bytes (power of two).
+        policy: Replacement policy, one of ``"lru"``, ``"fifo"``, ``"random"``.
+        name: Optional label used in reports (e.g. ``"L1D"``).
+    """
+
+    num_sets: int
+    associativity: int
+    block_bytes: int = 64
+    policy: str = "lru"
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.num_sets):
+            raise ConfigurationError(f"num_sets must be a power of two, got {self.num_sets}")
+        if self.associativity < 1:
+            raise ConfigurationError("associativity must be >= 1")
+        if not _is_power_of_two(self.block_bytes):
+            raise ConfigurationError(f"block_bytes must be a power of two, got {self.block_bytes}")
+        if self.policy not in _POLICIES:
+            raise ConfigurationError(f"unknown replacement policy {self.policy!r}")
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total capacity of the cache in bytes."""
+        return self.num_sets * self.associativity * self.block_bytes
+
+    @property
+    def capacity_blocks(self) -> int:
+        """Total number of blocks (tags) the cache can hold."""
+        return self.num_sets * self.associativity
+
+    @classmethod
+    def from_capacity(
+        cls,
+        capacity_bytes: int,
+        associativity: int,
+        block_bytes: int = 64,
+        policy: str = "lru",
+        name: str = "",
+    ) -> "CacheConfig":
+        """Build a config from a capacity instead of a set count.
+
+        This matches how the paper describes its filter caches ("capacity of
+        32 Kbytes and ... 4-way set-associative").
+        """
+        blocks = capacity_bytes // block_bytes
+        if blocks % associativity:
+            raise ConfigurationError(
+                f"capacity {capacity_bytes} is not divisible into {associativity}-way sets"
+            )
+        return cls(
+            num_sets=blocks // associativity,
+            associativity=associativity,
+            block_bytes=block_bytes,
+            policy=policy,
+            name=name,
+        )
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters accumulated by a :class:`SetAssociativeCache`."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def miss_ratio(self) -> float:
+        """Fraction of accesses that missed (0.0 when nothing was accessed)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of accesses that hit."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Return the sum of two counters (used when merging I and D stats)."""
+        return CacheStats(
+            accesses=self.accesses + other.accesses,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            writebacks=self.writebacks + other.writebacks,
+        )
+
+
+class SetAssociativeCache:
+    """Tag-only set-associative cache with LRU/FIFO/RANDOM replacement.
+
+    The cache operates on *block addresses* internally.  :meth:`access`
+    takes byte addresses (like a real cache port) while
+    :meth:`access_block` takes block addresses directly, which is what the
+    trace-driven simulations in Figure 3 use (the trace already stores block
+    addresses).
+    """
+
+    def __init__(self, config: CacheConfig, seed: int = 0) -> None:
+        self.config = config
+        self.stats = CacheStats()
+        self._set_shift = config.block_bytes.bit_length() - 1
+        self._set_mask = config.num_sets - 1
+        # One dict per set mapping block address -> monotonically increasing
+        # stamp.  For LRU the stamp is updated on every touch, for FIFO only
+        # on fill, so the victim (min stamp) implements either policy.
+        self._sets: List[dict] = [dict() for _ in range(config.num_sets)]
+        # Dirty blocks per set (written blocks that will cause a write-back
+        # when evicted); parallel to ``_sets`` and always a subset of it.
+        self._dirty: List[set] = [set() for _ in range(config.num_sets)]
+        self._clock = 0
+        self._rng = np.random.default_rng(seed)
+
+    # -- access paths ---------------------------------------------------------------
+    def access(self, byte_address: int) -> bool:
+        """Access a byte address; returns ``True`` on hit, ``False`` on miss."""
+        return self.access_block(int(byte_address) >> self._set_shift)
+
+    def access_block(self, block: int) -> bool:
+        """Access a block address; returns ``True`` on hit, ``False`` on miss."""
+        hit, _ = self.access_block_rw(block, is_write=False)
+        return hit
+
+    def access_block_rw(self, block: int, is_write: bool = False) -> Tuple[bool, Optional[int]]:
+        """Access a block, optionally as a write (write-allocate, write-back).
+
+        Returns ``(hit, writeback_block)`` where ``writeback_block`` is the
+        address of the dirty block evicted by this access, or ``None`` when
+        no write-back happened.  This is what the paper's cache filter needs
+        to emit write-back records tagged in the spare address bits.
+        """
+        block = int(block)
+        config = self.config
+        index = block & self._set_mask
+        cache_set = self._sets[index]
+        dirty_set = self._dirty[index]
+        self.stats.accesses += 1
+        self._clock += 1
+        if block in cache_set:
+            self.stats.hits += 1
+            if config.policy == "lru":
+                cache_set[block] = self._clock
+            if is_write:
+                dirty_set.add(block)
+            return True, None
+        self.stats.misses += 1
+        writeback = None
+        if len(cache_set) >= config.associativity:
+            victim = self._evict(cache_set)
+            if victim in dirty_set:
+                dirty_set.discard(victim)
+                self.stats.writebacks += 1
+                writeback = victim
+        cache_set[block] = self._clock
+        if is_write:
+            dirty_set.add(block)
+        return False, writeback
+
+    def access_trace(self, blocks: Iterable[int]) -> CacheStats:
+        """Access every block address in ``blocks`` and return the stats."""
+        for block in blocks:
+            self.access_block(int(block))
+        return self.stats
+
+    def miss_stream(self, blocks: Iterable[int]) -> np.ndarray:
+        """Return the block addresses that miss, in access order.
+
+        This is the "cache filter" operation: the output is exactly the
+        cache-filtered trace the paper's compressor consumes.
+        """
+        misses: List[int] = []
+        for block in blocks:
+            if not self.access_block(int(block)):
+                misses.append(int(block))
+        return np.array(misses, dtype=np.uint64)
+
+    # -- internals ------------------------------------------------------------------
+    def _evict(self, cache_set: dict) -> int:
+        if self.config.policy == "random":
+            victim = list(cache_set)[int(self._rng.integers(len(cache_set)))]
+        else:
+            victim = min(cache_set, key=cache_set.get)
+        del cache_set[victim]
+        self.stats.evictions += 1
+        return victim
+
+    # -- introspection ---------------------------------------------------------------
+    def resident_blocks(self) -> set:
+        """Return the set of block addresses currently cached."""
+        resident = set()
+        for cache_set in self._sets:
+            resident.update(cache_set)
+        return resident
+
+    def contains_block(self, block: int) -> bool:
+        """Return True when ``block`` is resident (does not update LRU state)."""
+        block = int(block)
+        return block in self._sets[block & self._set_mask]
+
+    def dirty_blocks(self) -> set:
+        """Return the set of block addresses currently dirty."""
+        dirty = set()
+        for dirty_set in self._dirty:
+            dirty.update(dirty_set)
+        return dirty
+
+    def flush(self) -> None:
+        """Invalidate every block and reset the internal clock (stats kept)."""
+        for cache_set in self._sets:
+            cache_set.clear()
+        for dirty_set in self._dirty:
+            dirty_set.clear()
+        self._clock = 0
+
+    def reset(self) -> None:
+        """Flush the cache and clear the statistics."""
+        self.flush()
+        self.stats = CacheStats()

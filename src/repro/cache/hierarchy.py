@@ -1,0 +1,77 @@
+"""Multi-level cache hierarchy used as a trace filter.
+
+The paper filters the reference stream with "one or more cache levels"
+(Section 2).  :class:`CacheHierarchy` chains :class:`SetAssociativeCache`
+levels: a reference is presented to level 1; on a miss it propagates to
+level 2, and so on.  The *filtered trace* is the stream of block addresses
+that miss in the last level.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.cache.cache import CacheConfig, CacheStats, SetAssociativeCache
+from repro.errors import ConfigurationError
+
+__all__ = ["CacheHierarchy"]
+
+
+class CacheHierarchy:
+    """An inclusive-lookup chain of cache levels acting as a miss filter.
+
+    The model is deliberately simple (no write-back traffic, no inclusion
+    enforcement): each level is an independent tag store, and a reference is
+    inserted in every level it misses in.  That is exactly the "filter"
+    semantics of the paper, which cares only about which addresses escape
+    the cache levels, not about coherence traffic.
+    """
+
+    def __init__(self, configs: Sequence[CacheConfig]) -> None:
+        if not configs:
+            raise ConfigurationError("a cache hierarchy needs at least one level")
+        block_sizes = {config.block_bytes for config in configs}
+        if len(block_sizes) != 1:
+            raise ConfigurationError("all hierarchy levels must share the block size")
+        self.levels: List[SetAssociativeCache] = [SetAssociativeCache(c) for c in configs]
+        self.block_bytes = configs[0].block_bytes
+        self._block_shift = self.block_bytes.bit_length() - 1
+
+    def __len__(self) -> int:
+        return len(self.levels)
+
+    def access(self, byte_address: int) -> bool:
+        """Access a byte address; returns True when the first level hits."""
+        return self.access_block(int(byte_address) >> self._block_shift)
+
+    def access_block(self, block: int) -> bool:
+        """Access a block address through the hierarchy.
+
+        Returns ``True`` if any level hits; the miss is only counted as a
+        *filtered miss* when every level misses.
+        """
+        hit = False
+        for level in self.levels:
+            if level.access_block(block):
+                hit = True
+                break
+        return hit
+
+    def miss_stream(self, blocks: Iterable[int]) -> np.ndarray:
+        """Return the block addresses that miss in every level, in order."""
+        misses = []
+        for block in blocks:
+            if not self.access_block(int(block)):
+                misses.append(int(block))
+        return np.array(misses, dtype=np.uint64)
+
+    def stats(self) -> List[CacheStats]:
+        """Return the per-level statistics, from first level to last."""
+        return [level.stats for level in self.levels]
+
+    def reset(self) -> None:
+        """Reset every level (contents and statistics)."""
+        for level in self.levels:
+            level.reset()

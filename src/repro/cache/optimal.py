@@ -1,0 +1,120 @@
+"""Optimal (Belady/MIN) replacement simulation.
+
+The Cheetah simulator the paper uses for Figure 3 (Sugumar & Abraham,
+SIGMETRICS 1993) is best known for efficient simulation of caches *under
+optimal replacement*; the paper itself only exercises its LRU mode, but the
+OPT miss ratio is the natural lower bound to put next to the LRU curves, so
+this reproduction includes it as an optional comparator (used by the
+extended analysis in ``examples/full_evaluation.py`` and by tests that bound
+the LRU curves).
+
+The implementation is the classic two-pass MIN algorithm applied per cache
+set: a first pass records, for every reference, the position of the next
+reference to the same block; the simulation pass then always evicts the
+resident block whose next use lies furthest in the future.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.cache.cache import CacheStats
+from repro.errors import ConfigurationError
+
+__all__ = ["OptimalCacheSimulator", "optimal_miss_ratio"]
+
+_NEVER = float("inf")
+
+
+@dataclass(frozen=True)
+class _SetTrace:
+    """Per-set reference list with next-use indices."""
+
+    blocks: List[int]
+    next_use: List[float]
+
+
+class OptimalCacheSimulator:
+    """Set-associative cache with Belady's optimal (MIN) replacement.
+
+    Unlike the online simulators in :mod:`repro.cache.cache`, OPT needs the
+    whole trace up front (it looks into the future), so the entry point is
+    :meth:`simulate` over a complete block-address sequence.
+
+    Args:
+        num_sets: Number of cache sets (power of two).
+        associativity: Ways per set.
+    """
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        if num_sets <= 0 or num_sets & (num_sets - 1):
+            raise ConfigurationError(f"num_sets must be a power of two, got {num_sets}")
+        if associativity < 1:
+            raise ConfigurationError("associativity must be >= 1")
+        self.num_sets = num_sets
+        self.associativity = associativity
+
+    # -- preprocessing -------------------------------------------------------------
+    def _split_by_set(self, blocks: Sequence[int]) -> Dict[int, _SetTrace]:
+        per_set_blocks: Dict[int, List[int]] = {}
+        mask = self.num_sets - 1
+        for block in blocks:
+            block = int(block)
+            per_set_blocks.setdefault(block & mask, []).append(block)
+        traces: Dict[int, _SetTrace] = {}
+        for set_index, set_blocks in per_set_blocks.items():
+            next_use: List[float] = [_NEVER] * len(set_blocks)
+            last_seen: Dict[int, int] = {}
+            for position in range(len(set_blocks) - 1, -1, -1):
+                block = set_blocks[position]
+                next_use[position] = last_seen.get(block, _NEVER)
+                last_seen[block] = position
+            traces[set_index] = _SetTrace(blocks=set_blocks, next_use=next_use)
+        return traces
+
+    # -- simulation -----------------------------------------------------------------
+    def simulate(self, blocks: Iterable[int]) -> CacheStats:
+        """Simulate the whole trace and return hit/miss statistics."""
+        materialised = [int(block) for block in blocks]
+        stats = CacheStats()
+        for set_trace in self._split_by_set(materialised).values():
+            stats = stats.merge(self._simulate_one_set(set_trace))
+        return stats
+
+    def _simulate_one_set(self, set_trace: _SetTrace) -> CacheStats:
+        stats = CacheStats()
+        # resident maps block -> next use position; the heap holds
+        # (-next_use, block) entries, lazily invalidated on pop.
+        resident: Dict[int, float] = {}
+        heap: List = []
+        for position, block in enumerate(set_trace.blocks):
+            stats.accesses += 1
+            next_use = set_trace.next_use[position]
+            if block in resident:
+                stats.hits += 1
+                resident[block] = next_use
+                heapq.heappush(heap, (-next_use if next_use != _NEVER else float("-inf"), block))
+                continue
+            stats.misses += 1
+            if len(resident) >= self.associativity:
+                # Evict the resident block whose next use is furthest away.
+                while heap:
+                    key, candidate = heapq.heappop(heap)
+                    candidate_next = -key if key != float("-inf") else _NEVER
+                    if candidate in resident and resident[candidate] == candidate_next:
+                        del resident[candidate]
+                        stats.evictions += 1
+                        break
+            resident[block] = next_use
+            heapq.heappush(heap, (-next_use if next_use != _NEVER else float("-inf"), block))
+        return stats
+
+
+def optimal_miss_ratio(blocks, num_sets: int, associativity: int) -> float:
+    """Miss ratio of the trace under optimal replacement."""
+    blocks = np.asarray(blocks).tolist() if isinstance(blocks, np.ndarray) else list(blocks)
+    return OptimalCacheSimulator(num_sets, associativity).simulate(blocks).miss_ratio

@@ -1,0 +1,168 @@
+"""Command-line tools mirroring the paper's example programs.
+
+The paper demonstrates ATC with two tiny C programs (Figures 6-8):
+``bin2atc`` reads raw 64-bit values from standard input and writes a
+compressed container directory, and ``atc2bin`` does the reverse.  The same
+pair is provided here (plus ``atc-inspect`` to print container metadata),
+installed as console scripts by the package:
+
+.. code-block:: console
+
+    $ head -c 800000000 /dev/urandom | bin2atc foobar
+    $ atc2bin foobar | wc -c
+    800000000
+
+``bin2atc`` defaults to lossy mode (the paper's ``'k'``); pass
+``--lossless`` for the safe lossless mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.atc import MODE_LOSSLESS, MODE_LOSSY, AtcDecoder, AtcEncoder
+from repro.core.lossy import LossyConfig
+from repro.errors import ReproError
+from repro.traces.trace import ADDRESS_BYTES
+
+__all__ = ["bin2atc_main", "atc2bin_main", "inspect_main"]
+
+_READ_CHUNK_ADDRESSES = 65536
+
+
+def _build_bin2atc_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bin2atc",
+        description="Compress a raw 64-bit value stream (stdin) into an ATC container directory.",
+    )
+    parser.add_argument("directory", help="container directory to create")
+    parser.add_argument(
+        "--lossless",
+        action="store_true",
+        help="use lossless mode ('c') instead of the default lossy mode ('k')",
+    )
+    parser.add_argument(
+        "--interval-length",
+        type=int,
+        default=10_000_000,
+        help="lossy interval length L in addresses (default: 10M, the paper's value)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.1,
+        help="lossy interval-distance threshold epsilon (default: 0.1)",
+    )
+    parser.add_argument(
+        "--buffer-addresses",
+        type=int,
+        default=1_000_000,
+        help="bytesort buffer size in addresses (default: 1M)",
+    )
+    parser.add_argument(
+        "--backend",
+        default="bz2",
+        help="byte-level compression backend: bz2, zlib, lzma, store (default: bz2)",
+    )
+    parser.add_argument(
+        "--no-translation",
+        action="store_true",
+        help="disable byte translation when imitating intervals (Figure 4 ablation)",
+    )
+    parser.add_argument("--input", default=None, help="read raw trace from this file instead of stdin")
+    return parser
+
+
+def bin2atc_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``bin2atc`` console script."""
+    args = _build_bin2atc_parser().parse_args(argv)
+    config = LossyConfig(
+        interval_length=args.interval_length,
+        threshold=args.threshold,
+        chunk_buffer_addresses=args.buffer_addresses,
+        backend=args.backend,
+        enable_translation=not args.no_translation,
+    )
+    mode = MODE_LOSSLESS if args.lossless else MODE_LOSSY
+    stream = open(args.input, "rb") if args.input else sys.stdin.buffer
+    try:
+        with AtcEncoder(args.directory, mode=mode, config=config) as encoder:
+            while True:
+                payload = stream.read(_READ_CHUNK_ADDRESSES * ADDRESS_BYTES)
+                if not payload:
+                    break
+                usable = len(payload) - (len(payload) % ADDRESS_BYTES)
+                if usable:
+                    encoder.code_many(np.frombuffer(payload[:usable], dtype="<u8"))
+                if usable != len(payload):
+                    print("warning: dropped a trailing partial record", file=sys.stderr)
+            coded = encoder.addresses_coded
+        print(f"coded {coded} addresses into {args.directory}", file=sys.stderr)
+        return 0
+    except ReproError as error:
+        print(f"bin2atc: error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        if args.input:
+            stream.close()
+
+
+def _build_atc2bin_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="atc2bin",
+        description="Decompress an ATC container directory to raw 64-bit values on stdout.",
+    )
+    parser.add_argument("directory", help="container directory to read")
+    parser.add_argument("--output", default=None, help="write to this file instead of stdout")
+    return parser
+
+
+def atc2bin_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``atc2bin`` console script."""
+    args = _build_atc2bin_parser().parse_args(argv)
+    try:
+        decoder = AtcDecoder(args.directory)
+    except ReproError as error:
+        print(f"atc2bin: error: {error}", file=sys.stderr)
+        return 1
+    sink = open(args.output, "wb") if args.output else sys.stdout.buffer
+    try:
+        for interval in decoder.iter_intervals():
+            sink.write(interval.astype("<u8", copy=False).tobytes())
+        return 0
+    finally:
+        if args.output:
+            sink.close()
+
+
+def _build_inspect_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="atc-inspect",
+        description="Print the metadata and interval-trace summary of an ATC container.",
+    )
+    parser.add_argument("directory", help="container directory to inspect")
+    return parser
+
+
+def inspect_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``atc-inspect`` console script."""
+    args = _build_inspect_parser().parse_args(argv)
+    try:
+        decoder = AtcDecoder(args.directory)
+    except ReproError as error:
+        print(f"atc-inspect: error: {error}", file=sys.stderr)
+        return 1
+    metadata = decoder.metadata
+    records = decoder.records
+    imitations = sum(1 for record in records if record.kind == "imitate")
+    print(f"container        : {args.directory}")
+    for key in sorted(metadata):
+        print(f"{key:<17}: {metadata[key]}")
+    print(f"intervals        : {len(records)} ({imitations} imitated)")
+    print(f"on-disk bytes    : {decoder.compressed_bytes()}")
+    print(f"bits per address : {decoder.bits_per_address():.3f}")
+    return 0

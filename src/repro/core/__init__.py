@@ -1,0 +1,66 @@
+"""The paper's contribution: bytesort, the lossy phase codec and ATC itself."""
+
+from repro.core.atc import AtcDecoder, AtcEncoder, atc_open, compress_trace, decompress_trace
+from repro.core.backend import CompressionBackend, available_backends, get_backend
+from repro.core.bytesort import (
+    bytesort_inverse,
+    bytesort_inverse_window,
+    bytesort_transform,
+    bytesort_window,
+)
+from repro.core.container import AtcContainer
+from repro.core.inspect import LossyTraceReport, analyze_container, analyze_lossy
+from repro.core.histograms import (
+    IntervalSummary,
+    apply_translation,
+    byte_histograms,
+    byte_translation,
+    interval_distance,
+    sort_histograms,
+)
+from repro.core.intervals import ChunkTable, IntervalRecord
+from repro.core.lossless import LosslessCodec, lossless_compress, lossless_decompress
+from repro.core.lossy import (
+    LossyCodec,
+    LossyCompressed,
+    LossyConfig,
+    LossyIntervalEncoder,
+    lossy_compress,
+    lossy_decompress,
+)
+
+__all__ = [
+    "AtcEncoder",
+    "AtcDecoder",
+    "atc_open",
+    "compress_trace",
+    "decompress_trace",
+    "AtcContainer",
+    "LossyTraceReport",
+    "analyze_lossy",
+    "analyze_container",
+    "CompressionBackend",
+    "get_backend",
+    "available_backends",
+    "bytesort_window",
+    "bytesort_inverse_window",
+    "bytesort_transform",
+    "bytesort_inverse",
+    "byte_histograms",
+    "sort_histograms",
+    "interval_distance",
+    "byte_translation",
+    "apply_translation",
+    "IntervalSummary",
+    "ChunkTable",
+    "IntervalRecord",
+    "LosslessCodec",
+    "lossless_compress",
+    "lossless_decompress",
+    "LossyCodec",
+    "LossyConfig",
+    "LossyCompressed",
+    "LossyIntervalEncoder",
+    "lossy_compress",
+    "lossy_decompress",
+]

@@ -1,0 +1,297 @@
+"""The ATC compressor facade: streaming single-pass compression to disk.
+
+This is the reproduction of the paper's Section 6 API.  The C original
+exposes four functions — ``atc_open``, ``atc_code``, ``atc_decode`` and
+``atc_close`` — where the open mode selects lossy compression (``'k'``),
+lossless compression (``'c'``) or decompression (``'d'``).  Here the same
+workflow is expressed with two context-manager classes plus convenience
+one-shot functions:
+
+* :class:`AtcEncoder` — feed it 64-bit values one at a time (or in bulk);
+  it buffers one interval (lossy mode) or one bytesort buffer (lossless
+  mode) in memory, compresses at each boundary and writes chunk files and
+  the INFO stream into a container directory.
+* :class:`AtcDecoder` — iterate over the decoded values of a container, or
+  read them all at once.
+* :func:`atc_open` — literal translation of the paper's entry point for
+  users who want the C-flavoured API.
+* :func:`compress_trace` / :func:`decompress_trace` — one-shot helpers used
+  by the benchmark harness and the CLI.
+
+Lossless mode reuses the same container layout: every bytesort buffer
+becomes its own chunk and the interval trace contains only "chunk" records,
+so a lossless container is simply a lossy container that never imitates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Union
+
+import numpy as np
+
+from repro.core.container import AtcContainer
+from repro.core.histograms import apply_translation
+from repro.core.intervals import IntervalRecord
+from repro.core.lossless import LosslessCodec
+from repro.core.lossy import LossyConfig, LossyIntervalEncoder
+from repro.errors import CodecError, ConfigurationError
+from repro.traces.trace import AddressTrace, as_address_array
+
+__all__ = [
+    "MODE_LOSSY",
+    "MODE_LOSSLESS",
+    "MODE_DECODE",
+    "AtcEncoder",
+    "AtcDecoder",
+    "atc_open",
+    "compress_trace",
+    "decompress_trace",
+]
+
+#: Paper's ``atc_open`` mode characters.
+MODE_LOSSY = "k"
+MODE_LOSSLESS = "c"
+MODE_DECODE = "d"
+
+
+class AtcEncoder:
+    """Streaming single-pass ATC compressor writing a container directory.
+
+    Args:
+        directory: Container directory to create.
+        mode: ``"k"`` for lossy compression, ``"c"`` for lossless.
+        config: Lossy configuration (interval length, threshold, back-end).
+            In lossless mode only ``chunk_buffer_addresses`` and ``backend``
+            are used (each bytesort buffer becomes a chunk).
+        suffix: Chunk file suffix; defaults to the back-end name.
+    """
+
+    def __init__(
+        self,
+        directory,
+        mode: str = MODE_LOSSY,
+        config: Optional[LossyConfig] = None,
+        suffix: Optional[str] = None,
+    ) -> None:
+        if mode not in (MODE_LOSSY, MODE_LOSSLESS):
+            raise ConfigurationError(f"encoder mode must be 'k' or 'c', got {mode!r}")
+        self.mode = mode
+        self.config = config if config is not None else LossyConfig()
+        self.container = AtcContainer(
+            directory, backend=self.config.backend, suffix=suffix, create=True
+        )
+        self._records: List[IntervalRecord] = []
+        self._buffer: List[int] = []
+        self._total = 0
+        self._closed = False
+        if mode == MODE_LOSSY:
+            self._interval_encoder = LossyIntervalEncoder(self.config)
+            self._flush_threshold = self.config.interval_length
+        else:
+            self._interval_encoder = None
+            self._lossless_codec = LosslessCodec(
+                buffer_addresses=self.config.chunk_buffer_addresses, backend=self.config.backend
+            )
+            self._flush_threshold = self.config.chunk_buffer_addresses
+
+    # -- context manager ------------------------------------------------------------------
+    def __enter__(self) -> "AtcEncoder":
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> None:
+        if exc_type is None:
+            self.close()
+
+    # -- encoding --------------------------------------------------------------------------
+    def code(self, value: int) -> None:
+        """Feed one 64-bit value (the paper's ``atc_code``)."""
+        if self._closed:
+            raise CodecError("cannot code values after the encoder was closed")
+        self._buffer.append(int(value))
+        self._total += 1
+        if len(self._buffer) >= self._flush_threshold:
+            self._flush_buffer()
+
+    def code_many(self, values) -> None:
+        """Feed many values at once (bulk variant of :meth:`code`)."""
+        if self._closed:
+            raise CodecError("cannot code values after the encoder was closed")
+        array = as_address_array(values)
+        self._total += int(array.size)
+        pending = self._buffer
+        pending.extend(array.tolist())
+        while len(pending) >= self._flush_threshold:
+            self._buffer = pending[: self._flush_threshold]
+            self._flush_buffer()
+            pending = pending[self._flush_threshold :]
+        self._buffer = pending
+
+    def _flush_buffer(self) -> None:
+        if not self._buffer:
+            return
+        interval = np.array(self._buffer, dtype=np.uint64)
+        self._buffer = []
+        if self.mode == MODE_LOSSY:
+            record, payload = self._interval_encoder.encode_interval(interval)
+            if payload is not None:
+                self.container.write_chunk(record.chunk_id, payload)
+        else:
+            chunk_id = len(self._records)
+            payload = self._lossless_codec.compress(interval)
+            self.container.write_chunk(chunk_id, payload)
+            record = IntervalRecord(kind="chunk", chunk_id=chunk_id, length=int(interval.size))
+        self._records.append(record)
+
+    def close(self) -> None:
+        """Flush the pending interval and write the INFO stream."""
+        if self._closed:
+            return
+        self._flush_buffer()
+        metadata = {
+            "format": "atc",
+            "format_version": 1,
+            "mode": "lossy" if self.mode == MODE_LOSSY else "lossless",
+            "backend": self.container.backend.name,
+            "original_length": self._total,
+            "interval_length": self.config.interval_length,
+            "threshold": self.config.threshold,
+            "chunk_buffer_addresses": self.config.chunk_buffer_addresses,
+            "enable_translation": bool(self.config.enable_translation),
+            "num_chunks": len(self.container.chunk_ids()),
+        }
+        self.container.write_info(metadata, self._records)
+        self._closed = True
+
+    # -- diagnostics ---------------------------------------------------------------------
+    @property
+    def addresses_coded(self) -> int:
+        """Number of values fed to the encoder so far."""
+        return self._total
+
+
+class AtcDecoder:
+    """Decoder for ATC container directories (lossy or lossless)."""
+
+    def __init__(self, directory, backend: Optional[str] = None, suffix: Optional[str] = None) -> None:
+        # The chunk-file suffix names the back-end on disk (INFO.bz2,
+        # INFO.zlib, ...), so an unspecified back-end is detected from it.
+        detected_suffix = AtcContainer.detect_suffix(directory) if suffix is None else suffix
+        probe = AtcContainer(
+            directory, backend=backend or detected_suffix or "bz2", suffix=detected_suffix
+        )
+        metadata, records = probe.read_info()
+        stored_backend = metadata.get("backend", "bz2")
+        if backend is None and stored_backend != probe.backend.name:
+            probe = AtcContainer(directory, backend=stored_backend, suffix=detected_suffix)
+            metadata, records = probe.read_info()
+        self.container = probe
+        self.metadata = metadata
+        self.records = records
+        self._chunk_codec = LosslessCodec(
+            buffer_addresses=int(metadata.get("chunk_buffer_addresses", 1_000_000)),
+            backend=self.container.backend,
+        )
+        self._chunk_cache = {}
+
+    # -- decoding ---------------------------------------------------------------------------
+    def _chunk_addresses(self, chunk_id: int) -> np.ndarray:
+        if chunk_id not in self._chunk_cache:
+            payload = self.container.read_chunk(chunk_id)
+            self._chunk_cache[chunk_id] = self._chunk_codec.decompress(payload)
+        return self._chunk_cache[chunk_id]
+
+    def iter_intervals(self) -> Iterator[np.ndarray]:
+        """Yield the decoded address array of every interval, in order."""
+        for record in self.records:
+            source = self._chunk_addresses(record.chunk_id)
+            if record.length > source.size:
+                raise CodecError(
+                    f"interval of length {record.length} references a chunk with only "
+                    f"{source.size} addresses"
+                )
+            piece = source[: record.length]
+            if record.kind == "imitate":
+                piece = apply_translation(piece, record.translations, record.active_bytes)
+            yield piece
+
+    def __iter__(self) -> Iterator[int]:
+        """Iterate over individual decoded values (the paper's ``atc_decode`` loop)."""
+        for interval in self.iter_intervals():
+            for value in interval.tolist():
+                yield value
+
+    def read_all(self) -> np.ndarray:
+        """Decode the whole container into one address array."""
+        intervals = list(self.iter_intervals())
+        if not intervals:
+            return np.empty(0, dtype=np.uint64)
+        result = np.concatenate(intervals)
+        expected = int(self.metadata.get("original_length", result.size))
+        if int(result.size) != expected:
+            raise CodecError(
+                f"container decodes to {result.size} addresses but INFO records {expected}"
+            )
+        return result
+
+    # -- diagnostics ---------------------------------------------------------------------
+    @property
+    def is_lossy(self) -> bool:
+        """True when the container was written in lossy mode."""
+        return self.metadata.get("mode") == "lossy"
+
+    def compressed_bytes(self) -> int:
+        """Total on-disk size of the container."""
+        return self.container.total_bytes()
+
+    def bits_per_address(self) -> float:
+        """On-disk bits per original address."""
+        count = int(self.metadata.get("original_length", 0))
+        if count == 0:
+            return 0.0
+        return 8.0 * self.compressed_bytes() / count
+
+
+def atc_open(
+    directory,
+    mode: str,
+    config: Optional[LossyConfig] = None,
+    suffix: Optional[str] = None,
+) -> Union[AtcEncoder, AtcDecoder]:
+    """Open an ATC container, mirroring the paper's ``atc_open`` entry point.
+
+    Args:
+        directory: Container directory.
+        mode: ``"k"`` (lossy compression), ``"c"`` (lossless compression) or
+            ``"d"`` (decompression).
+        config: Codec configuration for the compression modes.
+        suffix: Chunk file suffix override.
+    """
+    if mode == MODE_DECODE:
+        return AtcDecoder(directory, suffix=suffix)
+    if mode in (MODE_LOSSY, MODE_LOSSLESS):
+        return AtcEncoder(directory, mode=mode, config=config, suffix=suffix)
+    raise ConfigurationError(f"atc_open mode must be 'k', 'c' or 'd', got {mode!r}")
+
+
+def compress_trace(
+    addresses,
+    directory,
+    mode: str = MODE_LOSSY,
+    config: Optional[LossyConfig] = None,
+) -> AtcDecoder:
+    """Compress a whole trace to a container directory and return a decoder.
+
+    Returning the decoder gives immediate access to the on-disk size and the
+    decoded (possibly approximate) trace, which is what the benchmark
+    harness needs after each compression run.
+    """
+    values = addresses.addresses if isinstance(addresses, AddressTrace) else as_address_array(addresses)
+    with AtcEncoder(directory, mode=mode, config=config) as encoder:
+        encoder.code_many(values)
+    return AtcDecoder(directory)
+
+
+def decompress_trace(directory) -> np.ndarray:
+    """Decode an ATC container directory into an address array."""
+    return AtcDecoder(directory).read_all()

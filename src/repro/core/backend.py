@@ -1,0 +1,144 @@
+"""Byte-level compression back-ends used by the trace codecs.
+
+The ATC program in the paper pipes bytesorted blocks through an external
+``bzip2 -c`` process.  This reproduction uses the equivalent in-process
+codecs from the Python standard library (``bz2``, ``zlib``, ``lzma``) plus a
+"store" back-end that performs no compression at all (useful for testing and
+for measuring the size of a transformation before entropy coding).
+
+A back-end is a tiny object with two methods::
+
+    compress(data: bytes) -> bytes
+    decompress(data: bytes) -> bytes
+
+Back-ends are looked up by name through :func:`get_backend` so that codec
+constructors and the CLI can accept a plain string (``"bz2"``, ``"zlib"``,
+``"lzma"``, ``"store"``), mirroring the paper's command-string argument to
+``atc_open``.
+"""
+
+from __future__ import annotations
+
+import bz2
+import lzma
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "CompressionBackend",
+    "get_backend",
+    "available_backends",
+    "register_backend",
+]
+
+
+@dataclass(frozen=True)
+class CompressionBackend:
+    """A named pair of ``compress``/``decompress`` functions.
+
+    Attributes:
+        name: Identifier used for lookup and for chunk-file suffixes
+            (e.g. chunks written with the ``bz2`` back-end are stored as
+            ``<n>.bz2`` like in the paper's container format).
+        compress: Function mapping raw bytes to compressed bytes.
+        decompress: Inverse of ``compress``.
+    """
+
+    name: str
+    compress: Callable[[bytes], bytes]
+    decompress: Callable[[bytes], bytes]
+
+    def roundtrip(self, data: bytes) -> bytes:
+        """Compress then decompress ``data`` (used by self-checks/tests)."""
+        return self.decompress(self.compress(data))
+
+
+def _store_compress(data: bytes) -> bytes:
+    return bytes(data)
+
+
+def _store_decompress(data: bytes) -> bytes:
+    return bytes(data)
+
+
+_BACKENDS: Dict[str, CompressionBackend] = {}
+
+
+def register_backend(backend: CompressionBackend) -> None:
+    """Register ``backend`` so :func:`get_backend` can find it by name.
+
+    Registering a name twice replaces the previous back-end; this lets test
+    code substitute instrumented back-ends.
+    """
+    _BACKENDS[backend.name] = backend
+
+
+def available_backends() -> tuple:
+    """Return the sorted tuple of registered back-end names."""
+    return tuple(sorted(_BACKENDS))
+
+
+def get_backend(name_or_backend) -> CompressionBackend:
+    """Resolve a back-end from a name or pass an instance through.
+
+    Args:
+        name_or_backend: Either a registered back-end name (``"bz2"``,
+            ``"gz"``/``"zlib"``, ``"xz"``/``"lzma"``, ``"store"``) or an
+            already constructed :class:`CompressionBackend`.
+
+    Raises:
+        ConfigurationError: If the name is unknown.
+    """
+    if isinstance(name_or_backend, CompressionBackend):
+        return name_or_backend
+    try:
+        return _BACKENDS[name_or_backend]
+    except KeyError:
+        known = ", ".join(available_backends())
+        raise ConfigurationError(
+            f"unknown compression backend {name_or_backend!r}; known backends: {known}"
+        ) from None
+
+
+register_backend(
+    CompressionBackend(
+        name="bz2",
+        compress=lambda data: bz2.compress(data, compresslevel=9),
+        decompress=bz2.decompress,
+    )
+)
+register_backend(
+    CompressionBackend(
+        name="zlib",
+        compress=lambda data: zlib.compress(data, 9),
+        decompress=zlib.decompress,
+    )
+)
+# "gz" is an alias for zlib so the CLI accepts the paper's gzip-style name.
+register_backend(
+    CompressionBackend(
+        name="gz",
+        compress=lambda data: zlib.compress(data, 9),
+        decompress=zlib.decompress,
+    )
+)
+register_backend(
+    CompressionBackend(
+        name="lzma",
+        compress=lambda data: lzma.compress(data, preset=6),
+        decompress=lzma.decompress,
+    )
+)
+register_backend(
+    CompressionBackend(
+        name="xz",
+        compress=lambda data: lzma.compress(data, preset=6),
+        decompress=lzma.decompress,
+    )
+)
+register_backend(
+    CompressionBackend(name="store", compress=_store_compress, decompress=_store_decompress)
+)

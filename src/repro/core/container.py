@@ -1,0 +1,232 @@
+"""On-disk ATC container: a directory of compressed chunks plus INFO.
+
+The paper's compressor stores a trace as a directory (Figure 8)::
+
+    foobar/1.bz2        first chunk, bytesorted then bzip2-compressed
+    foobar/2.bz2        second chunk (if any)
+    ...
+    foobar/INFO.bz2     metadata + the interval trace (byte translations)
+
+This module reproduces that layout.  ``INFO`` holds a small JSON header
+(mode, configuration, original trace length) followed by the binary
+*interval trace*: one record per interval saying either "this interval is
+chunk ``k``" or "imitate chunk ``k`` with these byte translations".  Both
+parts are compressed together with the same back-end as the chunks.
+
+Binary interval-record layout (little endian)::
+
+    kind      u8      0 = chunk, 1 = imitate
+    chunk_id  u32
+    length    u32     number of addresses in the interval
+    [imitate only]
+    active    u8      bit j set = byte order j is translated
+    t[0..7]   8*256 bytes   byte translation tables (always all 8 rows,
+                            "translations are completely described with
+                            8 x 256 bytes" — paper, Section 5.2)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import struct
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.backend import CompressionBackend, get_backend
+from repro.core.intervals import IntervalRecord
+from repro.errors import ContainerError
+
+__all__ = [
+    "AtcContainer",
+    "serialize_interval_trace",
+    "deserialize_interval_trace",
+]
+
+_RECORD_FIXED = struct.Struct("<BII")
+_TRANSLATION_BYTES = 8 * 256
+_INFO_MAGIC = b"ATCINFO1"
+
+
+def serialize_interval_trace(records: List[IntervalRecord]) -> bytes:
+    """Serialise interval records to the binary layout described above."""
+    out = bytearray()
+    for record in records:
+        kind_code = 0 if record.kind == "chunk" else 1
+        out.extend(_RECORD_FIXED.pack(kind_code, record.chunk_id, record.length))
+        if kind_code == 1:
+            active = 0
+            active_bytes = np.asarray(record.active_bytes, dtype=bool)
+            for j in range(8):
+                if active_bytes[j]:
+                    active |= 1 << j
+            out.append(active)
+            translations = np.asarray(record.translations, dtype=np.uint8)
+            if translations.shape != (8, 256):
+                raise ContainerError("translations must be an (8, 256) byte table")
+            out.extend(translations.tobytes())
+    return bytes(out)
+
+
+def deserialize_interval_trace(payload: bytes) -> List[IntervalRecord]:
+    """Invert :func:`serialize_interval_trace`."""
+    records: List[IntervalRecord] = []
+    offset = 0
+    total = len(payload)
+    while offset < total:
+        if offset + _RECORD_FIXED.size > total:
+            raise ContainerError("interval trace is truncated (incomplete record header)")
+        kind_code, chunk_id, length = _RECORD_FIXED.unpack_from(payload, offset)
+        offset += _RECORD_FIXED.size
+        if kind_code == 0:
+            records.append(IntervalRecord(kind="chunk", chunk_id=chunk_id, length=length))
+            continue
+        if kind_code != 1:
+            raise ContainerError(f"invalid interval record kind byte {kind_code}")
+        if offset + 1 + _TRANSLATION_BYTES > total:
+            raise ContainerError("interval trace is truncated (incomplete imitation record)")
+        active_bits = payload[offset]
+        offset += 1
+        active = np.array([(active_bits >> j) & 1 == 1 for j in range(8)], dtype=bool)
+        translations = (
+            np.frombuffer(payload[offset : offset + _TRANSLATION_BYTES], dtype=np.uint8)
+            .reshape(8, 256)
+            .copy()
+        )
+        offset += _TRANSLATION_BYTES
+        records.append(
+            IntervalRecord(
+                kind="imitate",
+                chunk_id=chunk_id,
+                length=length,
+                active_bytes=active,
+                translations=translations,
+            )
+        )
+    return records
+
+
+class AtcContainer:
+    """Reader/writer for the on-disk chunk-directory format.
+
+    Args:
+        path: Directory that holds (or will hold) the compressed trace.
+        backend: Byte-level back-end used for the INFO stream; chunk payloads
+            are written verbatim (they are already compressed by the chunk
+            codec), the back-end name only determines the file suffix.
+        suffix: File suffix for chunk files (defaults to the back-end name,
+            like the paper's ``1.bz2``).
+        create: Create the directory (must not already contain a container).
+    """
+
+    INFO_BASENAME = "INFO"
+
+    def __init__(self, path, backend="bz2", suffix: Optional[str] = None, create: bool = False) -> None:
+        self.path = Path(path)
+        self.backend: CompressionBackend = get_backend(backend)
+        self.suffix = suffix if suffix is not None else self.backend.name
+        if create:
+            self.path.mkdir(parents=True, exist_ok=True)
+            if self._info_path().exists():
+                raise ContainerError(f"{self.path} already contains an ATC container")
+        elif not self.path.is_dir():
+            raise ContainerError(f"{self.path} is not a directory")
+
+    @classmethod
+    def detect_suffix(cls, path) -> Optional[str]:
+        """Return the chunk-file suffix of an existing container, if any.
+
+        Looks for the ``INFO.<suffix>`` stream; returns ``None`` when the
+        directory does not contain one (not a container, or not written yet).
+        """
+        directory = Path(path)
+        if not directory.is_dir():
+            return None
+        for entry in directory.iterdir():
+            if entry.is_file() and entry.name.startswith(f"{cls.INFO_BASENAME}."):
+                return entry.name[len(cls.INFO_BASENAME) + 1 :]
+        return None
+
+    # -- paths --------------------------------------------------------------------------
+    def _info_path(self) -> Path:
+        return self.path / f"{self.INFO_BASENAME}.{self.suffix}"
+
+    def _chunk_path(self, chunk_id: int) -> Path:
+        # Chunk files are 1-indexed on disk, like the paper's foobar/1.bz2.
+        return self.path / f"{chunk_id + 1}.{self.suffix}"
+
+    # -- chunks --------------------------------------------------------------------------
+    def write_chunk(self, chunk_id: int, payload: bytes) -> Path:
+        """Write one chunk payload; returns the file path."""
+        if chunk_id < 0:
+            raise ContainerError("chunk ids must be non-negative")
+        target = self._chunk_path(chunk_id)
+        target.write_bytes(payload)
+        return target
+
+    def read_chunk(self, chunk_id: int) -> bytes:
+        """Read one chunk payload."""
+        target = self._chunk_path(chunk_id)
+        if not target.exists():
+            raise ContainerError(f"missing chunk file {target}")
+        return target.read_bytes()
+
+    def chunk_ids(self) -> List[int]:
+        """Chunk ids present on disk, sorted."""
+        pattern = re.compile(rf"^(\d+)\.{re.escape(self.suffix)}$")
+        ids = []
+        for entry in self.path.iterdir():
+            match = pattern.match(entry.name)
+            if match:
+                ids.append(int(match.group(1)) - 1)
+        return sorted(ids)
+
+    # -- INFO ----------------------------------------------------------------------------
+    def write_info(self, metadata: Dict, records: List[IntervalRecord]) -> Path:
+        """Write the INFO stream (JSON metadata + binary interval trace)."""
+        header = json.dumps(metadata, sort_keys=True).encode("utf-8")
+        interval_payload = serialize_interval_trace(records)
+        body = (
+            _INFO_MAGIC
+            + struct.pack("<I", len(header))
+            + header
+            + struct.pack("<I", len(interval_payload))
+            + interval_payload
+        )
+        target = self._info_path()
+        target.write_bytes(self.backend.compress(body))
+        return target
+
+    def read_info(self) -> Tuple[Dict, List[IntervalRecord]]:
+        """Read the INFO stream; returns ``(metadata, interval_records)``."""
+        target = self._info_path()
+        if not target.exists():
+            raise ContainerError(f"{self.path} has no {target.name}; not an ATC container?")
+        body = self.backend.decompress(target.read_bytes())
+        if not body.startswith(_INFO_MAGIC):
+            raise ContainerError("INFO stream has an unknown format")
+        offset = len(_INFO_MAGIC)
+        (header_length,) = struct.unpack_from("<I", body, offset)
+        offset += 4
+        metadata = json.loads(body[offset : offset + header_length].decode("utf-8"))
+        offset += header_length
+        (interval_length,) = struct.unpack_from("<I", body, offset)
+        offset += 4
+        records = deserialize_interval_trace(body[offset : offset + interval_length])
+        return metadata, records
+
+    # -- sizes ----------------------------------------------------------------------------
+    def total_bytes(self) -> int:
+        """Total on-disk size of the container (chunks + INFO)."""
+        total = 0
+        for entry in self.path.iterdir():
+            if entry.is_file():
+                total += entry.stat().st_size
+        return total
+
+    def exists(self) -> bool:
+        """True when the directory contains an INFO stream."""
+        return self._info_path().exists()

@@ -1,0 +1,133 @@
+"""Interval bookkeeping for the lossy compression scheme (Section 5.2).
+
+The online lossy scheme keeps a *histogram table* in memory: "Each time we
+create a chunk, we record an entry for it in a histogram table in memory,
+where we store the histograms for that chunk.  When the table is full, we
+evict the entry belonging to the oldest chunk."  :class:`ChunkTable`
+implements that FIFO-bounded table plus the nearest-chunk search used to
+decide whether a new interval is stored as a chunk or imitated.
+
+The interval descriptors that make up the compressed "interval trace" are
+modelled by :class:`IntervalRecord`: an interval is either a reference to a
+stored chunk (the chunk *is* the interval, compressed losslessly) or an
+imitation of a chunk together with the byte translations needed to remap the
+chunk's addresses.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.histograms import IntervalSummary, interval_distance
+from repro.errors import CodecError, ConfigurationError
+
+__all__ = ["ChunkMatch", "ChunkTable", "IntervalRecord"]
+
+
+@dataclass(frozen=True)
+class ChunkMatch:
+    """Result of a nearest-chunk lookup."""
+
+    chunk_id: int
+    distance: float
+
+
+class ChunkTable:
+    """FIFO-bounded table of chunk interval summaries.
+
+    Args:
+        max_entries: Maximum number of chunk summaries kept in memory; when
+            the table is full the oldest chunk's entry is evicted (the chunk
+            itself stays on disk, it just can no longer be matched against).
+            ``None`` means unbounded.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ConfigurationError("max_entries must be >= 1 (or None for unbounded)")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[int, IntervalSummary]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, chunk_id: int) -> bool:
+        return chunk_id in self._entries
+
+    @property
+    def chunk_ids(self) -> Tuple[int, ...]:
+        """Chunk ids currently resident, oldest first."""
+        return tuple(self._entries)
+
+    def add(self, chunk_id: int, summary: IntervalSummary) -> None:
+        """Record the summary of a newly created chunk, evicting the oldest."""
+        if chunk_id in self._entries:
+            raise CodecError(f"chunk {chunk_id} is already in the table")
+        self._entries[chunk_id] = summary
+        if self.max_entries is not None and len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def get(self, chunk_id: int) -> IntervalSummary:
+        """Return the stored summary of ``chunk_id``."""
+        try:
+            return self._entries[chunk_id]
+        except KeyError:
+            raise CodecError(f"chunk {chunk_id} is not in the table") from None
+
+    def best_match(self, summary: IntervalSummary) -> Optional[ChunkMatch]:
+        """Find the resident chunk with the smallest distance to ``summary``.
+
+        Returns ``None`` when the table is empty.  When several chunks tie,
+        the oldest one wins (deterministic, matches the insertion scan order
+        of the paper's single-pass algorithm).
+        """
+        best: Optional[ChunkMatch] = None
+        for chunk_id, chunk_summary in self._entries.items():
+            distance = interval_distance(chunk_summary, summary)
+            if best is None or distance < best.distance:
+                best = ChunkMatch(chunk_id=chunk_id, distance=distance)
+        return best
+
+
+@dataclass(frozen=True)
+class IntervalRecord:
+    """One entry of the compressed interval trace.
+
+    Attributes:
+        kind: ``"chunk"`` when the interval was stored losslessly as a new
+            chunk; ``"imitate"`` when it is regenerated from a stored chunk.
+        chunk_id: The chunk that holds (or imitates) this interval.
+        length: Number of addresses in the interval (the last interval of a
+            trace may be shorter than the nominal interval length).
+        active_bytes: For imitation records, the per-byte-order flags saying
+            which byte orders are translated; ``None`` for chunk records.
+        translations: For imitation records, the ``(8, 256)`` byte
+            translation table; ``None`` for chunk records.
+        distance: The interval distance to the imitated chunk (0 for chunk
+            records); kept for diagnostics and reporting.
+    """
+
+    kind: str
+    chunk_id: int
+    length: int
+    active_bytes: Optional[np.ndarray] = None
+    translations: Optional[np.ndarray] = None
+    distance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("chunk", "imitate"):
+            raise CodecError(f"invalid interval record kind {self.kind!r}")
+        if self.length < 0:
+            raise CodecError("interval length cannot be negative")
+        if self.kind == "imitate":
+            if self.translations is None or self.active_bytes is None:
+                raise CodecError("imitation records need translations and an active mask")
+
+    @property
+    def is_chunk(self) -> bool:
+        """True when the interval is stored as its own chunk."""
+        return self.kind == "chunk"

@@ -1,0 +1,28 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+All errors raised deliberately by the library derive from :class:`ReproError`
+so callers can catch library failures without also catching programming
+errors (``TypeError``, ``KeyError`` ...) that indicate bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class TraceFormatError(ReproError):
+    """A raw or compressed trace is malformed or truncated."""
+
+
+class ContainerError(ReproError):
+    """An on-disk ATC container (chunk directory) is invalid or corrupt."""
+
+
+class CodecError(ReproError):
+    """A compressor or decompressor was used incorrectly or hit bad data."""
+
+
+class ConfigurationError(ReproError):
+    """A simulator, workload or codec received an invalid configuration."""

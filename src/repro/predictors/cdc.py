@@ -1,0 +1,217 @@
+"""C/DC (CZone / Delta Correlation) address predictor.
+
+Figure 5 of the paper evaluates lossy-trace fidelity by running "an address
+predictor based on the C/DC prefetcher" (Nesbit, Dhodapkar & Smith, PACT
+2004) over the exact and the lossy trace and comparing the breakdown of
+non-predicted / correctly predicted / mispredicted addresses.  The paper's
+configuration, reproduced here as defaults, is:
+
+* 64-KByte CZones (the address space is partitioned into concentration
+  zones; prediction only uses history from the same zone),
+* a 256-entry index table (one entry per active CZone, direct-mapped),
+* a 256-entry global history buffer (GHB) holding the most recent addresses,
+  each entry linked to the previous entry of the same CZone,
+* a 2-delta correlation key: the last two address deltas of the zone are
+  looked up in the zone's delta history; on a match the delta that followed
+  the previous occurrence is used to predict the next address in the zone.
+
+"If there is no match for the correlation key, the next address in the
+CZone will not be predicted.  Otherwise, the predicted address is stored in
+the index-table entry and will be compared with the next address in that
+CZone."  The per-address classification (non-predicted / correct /
+incorrect) is exactly what :meth:`CdcPredictor.run` returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.traces.trace import as_address_array
+
+__all__ = ["CdcConfig", "PredictionBreakdown", "CdcPredictor", "simulate_cdc"]
+
+
+@dataclass(frozen=True)
+class CdcConfig:
+    """Configuration of the C/DC predictor (paper defaults)."""
+
+    czone_bytes: int = 64 * 1024
+    index_entries: int = 256
+    ghb_entries: int = 256
+    delta_key_length: int = 2
+    block_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        for name in ("czone_bytes", "index_entries", "ghb_entries", "block_bytes"):
+            value = getattr(self, name)
+            if value <= 0 or value & (value - 1):
+                raise ConfigurationError(f"{name} must be a positive power of two, got {value}")
+        if self.delta_key_length < 1:
+            raise ConfigurationError("delta_key_length must be >= 1")
+        if self.czone_bytes < self.block_bytes:
+            raise ConfigurationError("a CZone must be at least one block")
+
+
+@dataclass
+class PredictionBreakdown:
+    """Counts of the three per-address outcomes plotted in Figure 5."""
+
+    non_predicted: int = 0
+    correct: int = 0
+    incorrect: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.non_predicted + self.correct + self.incorrect
+
+    def fractions(self) -> dict:
+        """Return the three outcome fractions (they sum to 1.0)."""
+        total = self.total
+        if total == 0:
+            return {"non_predicted": 0.0, "correct": 0.0, "incorrect": 0.0}
+        return {
+            "non_predicted": self.non_predicted / total,
+            "correct": self.correct / total,
+            "incorrect": self.incorrect / total,
+        }
+
+    def distance(self, other: "PredictionBreakdown") -> float:
+        """L1 distance between two outcome distributions (0 = identical)."""
+        mine = self.fractions()
+        theirs = other.fractions()
+        return sum(abs(mine[key] - theirs[key]) for key in mine)
+
+
+class _GhbEntry:
+    """One slot of the global history buffer."""
+
+    __slots__ = ("block", "previous", "previous_generation", "generation")
+
+    def __init__(self) -> None:
+        self.block = 0
+        self.previous = -1
+        self.previous_generation = -1
+        self.generation = -1
+
+
+class _IndexEntry:
+    """One slot of the CZone index table."""
+
+    __slots__ = ("czone", "head", "head_generation", "prediction")
+
+    def __init__(self) -> None:
+        self.czone = -1
+        self.head = -1
+        self.head_generation = -1
+        self.prediction: Optional[int] = None
+
+
+class CdcPredictor:
+    """GHB-based CZone / Delta-Correlation next-address predictor."""
+
+    def __init__(self, config: CdcConfig = CdcConfig()) -> None:
+        self.config = config
+        self._czone_shift = (config.czone_bytes // config.block_bytes).bit_length() - 1
+        self._index = [_IndexEntry() for _ in range(config.index_entries)]
+        self._ghb = [_GhbEntry() for _ in range(config.ghb_entries)]
+        self._next_slot = 0
+        self._generation = 0
+        self.breakdown = PredictionBreakdown()
+
+    # -- internals --------------------------------------------------------------------
+    def _czone_of(self, block: int) -> int:
+        return block >> self._czone_shift
+
+    def _index_entry(self, czone: int) -> _IndexEntry:
+        return self._index[czone % self.config.index_entries]
+
+    def _zone_history(self, entry: _IndexEntry, max_length: int) -> List[int]:
+        """Most recent block addresses of the zone, newest first.
+
+        Each GHB entry records the generation of the entry it pointed to at
+        write time, so a link is followed only when the target slot still
+        holds that exact entry (it may have been overwritten by the circular
+        buffer since).
+        """
+        history: List[int] = []
+        slot = entry.head
+        expected_generation = entry.head_generation
+        while slot >= 0 and len(history) < max_length:
+            ghb_entry = self._ghb[slot]
+            if ghb_entry.generation != expected_generation:
+                break
+            history.append(ghb_entry.block)
+            slot = ghb_entry.previous
+            expected_generation = ghb_entry.previous_generation
+        return history
+
+    def _predict_next(self, entry: _IndexEntry) -> Optional[int]:
+        """Delta-correlation prediction for the zone's next block address."""
+        key_length = self.config.delta_key_length
+        history = self._zone_history(entry, max_length=self.config.ghb_entries)
+        if len(history) < key_length + 2:
+            return None
+        # history is newest-first; deltas[i] = history[i] - history[i+1]
+        deltas = [history[i] - history[i + 1] for i in range(len(history) - 1)]
+        key = deltas[:key_length]
+        # Search older delta history for the same key; on a match the delta
+        # that followed it (i.e. the more recent one) is the prediction.
+        for start in range(1, len(deltas) - key_length + 1):
+            if deltas[start : start + key_length] == key:
+                predicted_delta = deltas[start - 1]
+                return history[0] + predicted_delta
+        return None
+
+    # -- public API ----------------------------------------------------------------------
+    def access_block(self, block: int) -> str:
+        """Process one block address; returns its Figure-5 classification.
+
+        Returns one of ``"non_predicted"``, ``"correct"``, ``"incorrect"``.
+        """
+        block = int(block)
+        czone = self._czone_of(block)
+        entry = self._index_entry(czone)
+        if entry.czone != czone:
+            # Index-table conflict or first touch: the zone state is reset.
+            entry.czone = czone
+            entry.head = -1
+            entry.head_generation = -1
+            entry.prediction = None
+        if entry.prediction is None:
+            outcome = "non_predicted"
+            self.breakdown.non_predicted += 1
+        elif entry.prediction == block:
+            outcome = "correct"
+            self.breakdown.correct += 1
+        else:
+            outcome = "incorrect"
+            self.breakdown.incorrect += 1
+        # Insert the address into the GHB and relink the zone's chain.
+        slot = self._next_slot
+        self._next_slot = (self._next_slot + 1) % self.config.ghb_entries
+        ghb_entry = self._ghb[slot]
+        ghb_entry.block = block
+        ghb_entry.previous = entry.head
+        ghb_entry.previous_generation = entry.head_generation
+        ghb_entry.generation = self._generation
+        entry.head = slot
+        entry.head_generation = self._generation
+        self._generation += 1
+        # Compute the prediction for the *next* address of this zone.
+        entry.prediction = self._predict_next(entry)
+        return outcome
+
+    def run(self, blocks) -> PredictionBreakdown:
+        """Classify every address of a block-address trace."""
+        for block in as_address_array(blocks).tolist():
+            self.access_block(block)
+        return self.breakdown
+
+
+def simulate_cdc(blocks, config: CdcConfig = CdcConfig()) -> PredictionBreakdown:
+    """Run a fresh C/DC predictor over ``blocks`` and return the breakdown."""
+    return CdcPredictor(config).run(blocks)

@@ -1,0 +1,63 @@
+"""Trace substrate: trace types, synthetic workloads and the cache filter."""
+
+from repro.traces.filter import (
+    PAPER_L1_CONFIG,
+    CacheFilter,
+    FilterResult,
+    filter_reference_stream,
+    filtered_spec_like_trace,
+)
+from repro.traces.multicore import (
+    interleave_round_robin,
+    interleave_weighted,
+    merge_traces,
+    split_by_core,
+)
+from repro.traces.records import RecordKind, tag_addresses, untag_addresses
+from repro.traces.spec_like import (
+    SPEC_LIKE_NAMES,
+    SpecLikeWorkload,
+    generate_reference_stream,
+    get_workload,
+    spec_like_suite,
+)
+from repro.traces.synthetic import ReferenceStream
+from repro.traces.trace import (
+    ADDRESS_BYTES,
+    AddressTrace,
+    as_address_array,
+    block_address,
+    byte_address,
+    iter_raw_addresses,
+    read_raw_trace,
+    write_raw_trace,
+)
+
+__all__ = [
+    "ADDRESS_BYTES",
+    "AddressTrace",
+    "as_address_array",
+    "block_address",
+    "byte_address",
+    "read_raw_trace",
+    "write_raw_trace",
+    "iter_raw_addresses",
+    "ReferenceStream",
+    "SpecLikeWorkload",
+    "SPEC_LIKE_NAMES",
+    "spec_like_suite",
+    "get_workload",
+    "generate_reference_stream",
+    "CacheFilter",
+    "FilterResult",
+    "PAPER_L1_CONFIG",
+    "filter_reference_stream",
+    "filtered_spec_like_trace",
+    "RecordKind",
+    "tag_addresses",
+    "untag_addresses",
+    "interleave_round_robin",
+    "interleave_weighted",
+    "merge_traces",
+    "split_by_core",
+]

@@ -1,0 +1,70 @@
+"""Tagging of spare high-order bits in cache-block addresses.
+
+With 64-byte blocks, block addresses have their six most significant bits
+free; the paper notes these bits "may be used to store some extra
+information, e.g., whether the address corresponds to a demand miss or a
+write-back" (Section 2).  This module implements that convention so users
+of the library can carry per-record tags through compression and strip them
+again for cache simulation.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import TraceFormatError
+from repro.traces.trace import as_address_array
+
+__all__ = ["RecordKind", "TAG_SHIFT", "TAG_BITS", "tag_addresses", "untag_addresses"]
+
+#: Number of spare bits at the top of a 64-byte-block address.
+TAG_BITS = 6
+
+#: Bit position where the tag field starts.
+TAG_SHIFT = 64 - TAG_BITS
+
+_TAG_MASK = np.uint64(((1 << TAG_BITS) - 1) << TAG_SHIFT)
+_ADDRESS_MASK = np.uint64((1 << TAG_SHIFT) - 1)
+
+
+class RecordKind(IntEnum):
+    """Record tags stored in the spare high bits of a block address."""
+
+    DEMAND_MISS = 0
+    WRITE_BACK = 1
+    PREFETCH = 2
+    INSTRUCTION_MISS = 3
+
+
+def tag_addresses(block_addresses, kinds) -> np.ndarray:
+    """Pack a :class:`RecordKind` tag into the top bits of each block address.
+
+    Args:
+        block_addresses: Block addresses (must fit in the low 58 bits).
+        kinds: A single :class:`RecordKind` or an array of per-record kinds.
+
+    Raises:
+        TraceFormatError: If an address already uses the tag bits.
+    """
+    addresses = as_address_array(block_addresses)
+    if addresses.size and bool((addresses & _TAG_MASK).any()):
+        raise TraceFormatError("block addresses already use the spare tag bits")
+    if isinstance(kinds, (int, RecordKind)):
+        kind_values = np.full(addresses.shape, int(kinds), dtype=np.uint64)
+    else:
+        kind_values = np.asarray([int(kind) for kind in kinds], dtype=np.uint64)
+        if kind_values.shape != addresses.shape:
+            raise TraceFormatError("kinds must be scalar or match the address count")
+    if kind_values.size and int(kind_values.max()) >= (1 << TAG_BITS):
+        raise TraceFormatError(f"record kinds must fit in {TAG_BITS} bits")
+    return (addresses | (kind_values << np.uint64(TAG_SHIFT))).astype(np.uint64)
+
+
+def untag_addresses(tagged_addresses) -> Tuple[np.ndarray, np.ndarray]:
+    """Split tagged addresses into ``(block_addresses, kinds)`` arrays."""
+    tagged = as_address_array(tagged_addresses)
+    kinds = (tagged >> np.uint64(TAG_SHIFT)).astype(np.uint8)
+    return (tagged & _ADDRESS_MASK).astype(np.uint64), kinds

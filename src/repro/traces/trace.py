@@ -1,0 +1,253 @@
+"""Address trace container and raw 64-bit trace I/O.
+
+The traces consumed by ATC have "the simplest format that an address trace
+can have: they are just sequences of 64-bit values" (paper, Section 2).
+This module provides:
+
+* :class:`AddressTrace` — a thin, validated wrapper around a NumPy
+  ``uint64`` array with helpers used throughout the library (byte views,
+  interval slicing, distinct-address counting, working-set statistics).
+* :func:`write_raw_trace` / :func:`read_raw_trace` — the little-endian
+  on-disk representation (8 bytes per address) used by the CLI tools, the
+  same layout as the paper's ``fread``/``fwrite`` of ``unsigned long long``.
+* Helpers converting between byte addresses and cache-block addresses.
+
+The paper works with 64-byte cache blocks, so block addresses have their six
+most significant bits free; the :mod:`repro.traces.records` module uses that
+room for tagging.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Union
+
+import numpy as np
+
+from repro.errors import TraceFormatError
+
+__all__ = [
+    "ADDRESS_BYTES",
+    "DEFAULT_BLOCK_BYTES",
+    "AddressTrace",
+    "as_address_array",
+    "block_address",
+    "byte_address",
+    "read_raw_trace",
+    "write_raw_trace",
+    "iter_raw_addresses",
+]
+
+#: Size in bytes of one trace record (a 64-bit address).
+ADDRESS_BYTES = 8
+
+#: Cache block size assumed throughout the paper (64-byte blocks).
+DEFAULT_BLOCK_BYTES = 64
+
+_UINT64 = np.dtype("<u8")
+
+
+def as_address_array(addresses: Union[Sequence[int], np.ndarray, Iterable[int]]) -> np.ndarray:
+    """Convert ``addresses`` to a contiguous little-endian ``uint64`` array.
+
+    Accepts any iterable of non-negative integers below 2**64 as well as
+    NumPy arrays of any integer dtype.  Negative values raise
+    :class:`TraceFormatError` because a trace address is by definition an
+    unsigned quantity.
+    """
+    if isinstance(addresses, np.ndarray):
+        if addresses.dtype == _UINT64 and addresses.flags.c_contiguous:
+            return addresses
+        if np.issubdtype(addresses.dtype, np.signedinteger) and addresses.size and addresses.min() < 0:
+            raise TraceFormatError("trace addresses must be non-negative")
+        return np.ascontiguousarray(addresses, dtype=_UINT64)
+    values = list(addresses)
+    for value in values:
+        if value < 0:
+            raise TraceFormatError("trace addresses must be non-negative")
+        if value >= 1 << 64:
+            raise TraceFormatError("trace addresses must fit in 64 bits")
+    return np.array(values, dtype=_UINT64)
+
+
+def block_address(byte_addresses, block_bytes: int = DEFAULT_BLOCK_BYTES) -> np.ndarray:
+    """Convert byte addresses to cache-block addresses (``addr // block``)."""
+    array = as_address_array(byte_addresses)
+    shift = int(block_bytes).bit_length() - 1
+    if 1 << shift != block_bytes:
+        raise TraceFormatError(f"block size must be a power of two, got {block_bytes}")
+    return array >> np.uint64(shift)
+
+
+def byte_address(block_addresses, block_bytes: int = DEFAULT_BLOCK_BYTES) -> np.ndarray:
+    """Convert block addresses back to the byte address of the block start."""
+    array = as_address_array(block_addresses)
+    shift = int(block_bytes).bit_length() - 1
+    if 1 << shift != block_bytes:
+        raise TraceFormatError(f"block size must be a power of two, got {block_bytes}")
+    return array << np.uint64(shift)
+
+
+@dataclass(frozen=True)
+class AddressTrace:
+    """A finite sequence of 64-bit trace addresses.
+
+    The class is a frozen value object: the underlying array is never
+    mutated by library code, and helpers always return new arrays/traces.
+
+    Attributes:
+        addresses: The little-endian ``uint64`` address array.
+        name: Optional label (benchmark name, workload id) used in reports.
+    """
+
+    addresses: np.ndarray
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "addresses", as_address_array(self.addresses))
+
+    # -- basic container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.addresses.size)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(int(value) for value in self.addresses)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return AddressTrace(self.addresses[index], name=self.name)
+        return int(self.addresses[index])
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, AddressTrace):
+            return NotImplemented
+        return len(self) == len(other) and bool(np.array_equal(self.addresses, other.addresses))
+
+    def __hash__(self) -> int:  # pragma: no cover - value object convenience
+        return hash((self.name, self.addresses.tobytes()))
+
+    # -- constructors --------------------------------------------------------------
+    @classmethod
+    def from_iterable(cls, addresses: Iterable[int], name: str = "") -> "AddressTrace":
+        """Build a trace from any iterable of integer addresses."""
+        return cls(as_address_array(addresses), name=name)
+
+    @classmethod
+    def empty(cls, name: str = "") -> "AddressTrace":
+        """Return an empty trace (length zero)."""
+        return cls(np.empty(0, dtype=_UINT64), name=name)
+
+    # -- views ----------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialise the trace as little-endian 8-byte records."""
+        return self.addresses.astype(_UINT64, copy=False).tobytes()
+
+    def byte_columns(self) -> np.ndarray:
+        """Return the ``(len, 8)`` array of the bytes of each address.
+
+        Column ``j`` holds byte of order ``j`` (``j = 0`` is the least
+        significant byte), matching the paper's ``b[j](k)`` notation.
+        """
+        return self.addresses.view(np.uint8).reshape(len(self), ADDRESS_BYTES)
+
+    def intervals(self, length: int) -> Iterator["AddressTrace"]:
+        """Yield consecutive sub-traces of ``length`` addresses.
+
+        The final interval may be shorter when the trace length is not a
+        multiple of ``length`` (the lossy codec handles that tail as its own
+        interval, exactly like the streaming encoder does).
+        """
+        if length <= 0:
+            raise TraceFormatError("interval length must be positive")
+        for start in range(0, len(self), length):
+            yield AddressTrace(self.addresses[start : start + length], name=self.name)
+
+    # -- statistics -----------------------------------------------------------------
+    def distinct_addresses(self) -> int:
+        """Number of distinct addresses (the trace's footprint in blocks)."""
+        if len(self) == 0:
+            return 0
+        return int(np.unique(self.addresses).size)
+
+    def footprint_bytes(self, block_bytes: int = DEFAULT_BLOCK_BYTES) -> int:
+        """Footprint in bytes assuming each address names one cache block."""
+        return self.distinct_addresses() * block_bytes
+
+    def concat(self, other: "AddressTrace") -> "AddressTrace":
+        """Return the concatenation of two traces (keeps ``self.name``)."""
+        return AddressTrace(np.concatenate([self.addresses, other.addresses]), name=self.name)
+
+
+def write_raw_trace(trace: Union[AddressTrace, np.ndarray, Sequence[int]], destination) -> int:
+    """Write a trace as raw little-endian 64-bit values.
+
+    Args:
+        trace: Trace, array or sequence of addresses.
+        destination: File path (``str``/``os.PathLike``) or binary file object.
+
+    Returns:
+        Number of bytes written.
+    """
+    if isinstance(trace, AddressTrace):
+        payload = trace.to_bytes()
+    else:
+        payload = as_address_array(trace).tobytes()
+    if hasattr(destination, "write"):
+        destination.write(payload)
+    else:
+        with open(os.fspath(destination), "wb") as handle:
+            handle.write(payload)
+    return len(payload)
+
+
+def read_raw_trace(source, name: str = "") -> AddressTrace:
+    """Read a raw little-endian 64-bit trace from a path or file object.
+
+    Raises:
+        TraceFormatError: If the byte length is not a multiple of eight.
+    """
+    if hasattr(source, "read"):
+        payload = source.read()
+    else:
+        with open(os.fspath(source), "rb") as handle:
+            payload = handle.read()
+    if len(payload) % ADDRESS_BYTES:
+        raise TraceFormatError(
+            f"raw trace length {len(payload)} is not a multiple of {ADDRESS_BYTES} bytes"
+        )
+    addresses = np.frombuffer(payload, dtype=_UINT64).copy()
+    return AddressTrace(addresses, name=name)
+
+
+def iter_raw_addresses(source, chunk_addresses: int = 65536) -> Iterator[int]:
+    """Stream addresses from a raw trace without loading it fully in memory.
+
+    This is the reading loop of the paper's ``bin2atc`` example program
+    (Figure 6): read 8 bytes at a time from a file-like object and yield
+    each 64-bit value.  Reading is chunked for speed.
+    """
+    handle = source
+    opened = False
+    if not hasattr(source, "read"):
+        handle = open(os.fspath(source), "rb")
+        opened = True
+    try:
+        while True:
+            payload = handle.read(chunk_addresses * ADDRESS_BYTES)
+            if not payload:
+                return
+            if len(payload) % ADDRESS_BYTES:
+                raise TraceFormatError("raw trace ends with a partial 64-bit record")
+            for value in np.frombuffer(payload, dtype=_UINT64):
+                yield int(value)
+    finally:
+        if opened:
+            handle.close()
+
+
+def _ensure_binary_stream(obj) -> io.BufferedIOBase:  # pragma: no cover - helper for CLI
+    if isinstance(obj, io.BufferedIOBase):
+        return obj
+    raise TraceFormatError("expected a binary stream")

@@ -1,0 +1,72 @@
+"""Tests of the exact-vs-lossy comparison pipelines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.comparison import (
+    compare_cdc_breakdowns,
+    compare_miss_ratio_surfaces,
+    regenerate_lossy_trace,
+)
+from repro.core.lossy import LossyConfig
+
+
+@pytest.fixture(scope="module")
+def stationary_trace():
+    rng = np.random.default_rng(77)
+    return rng.integers(0, 2_048, size=40_000, dtype=np.uint64) + np.uint64(1 << 22)
+
+
+class TestRegenerateLossyTrace:
+    def test_length_and_metadata(self, stationary_trace):
+        config = LossyConfig(interval_length=10_000)
+        approx, bpa, chunks, intervals = regenerate_lossy_trace(stationary_trace, config)
+        assert approx.size == stationary_trace.size
+        assert chunks == 1
+        assert intervals == 4
+        assert 0.0 < bpa < 64.0
+
+
+class TestMissRatioComparison:
+    def test_stationary_trace_has_small_error(self, stationary_trace):
+        config = LossyConfig(interval_length=10_000)
+        result = compare_miss_ratio_surfaces(
+            stationary_trace, set_counts=[64, 256], config=config, trace_name="stationary"
+        )
+        assert result.trace_name == "stationary"
+        assert result.num_chunks == 1
+        assert result.max_miss_ratio_error < 0.08
+        assert result.mean_miss_ratio_error <= result.max_miss_ratio_error
+        assert 0.8 <= result.distinct_ratio <= 1.3
+
+    def test_translation_off_increases_error_on_drifting_regions(self):
+        """The Figure 4 effect measured through the comparison pipeline."""
+        rng = np.random.default_rng(5)
+        phases = [
+            rng.integers(0, 2_048, size=15_000, dtype=np.uint64) + np.uint64((1 + index) << 22)
+            for index in range(4)
+        ]
+        trace = np.concatenate(phases)
+        with_translation = compare_miss_ratio_surfaces(
+            trace, set_counts=[64], config=LossyConfig(interval_length=15_000, enable_translation=True)
+        )
+        without_translation = compare_miss_ratio_surfaces(
+            trace, set_counts=[64], config=LossyConfig(interval_length=15_000, enable_translation=False)
+        )
+        assert without_translation.distinct_ratio < with_translation.distinct_ratio
+
+
+class TestCdcComparison:
+    def test_breakdowns_cover_all_addresses(self, stationary_trace):
+        config = LossyConfig(interval_length=10_000)
+        exact, lossy, distance = compare_cdc_breakdowns(stationary_trace, config=config)
+        assert exact.total == stationary_trace.size
+        assert lossy.total == stationary_trace.size
+        assert 0.0 <= distance <= 2.0
+
+    def test_lossy_breakdown_close_to_exact_for_stationary_trace(self, stationary_trace):
+        config = LossyConfig(interval_length=10_000)
+        _, _, distance = compare_cdc_breakdowns(stationary_trace, config=config)
+        assert distance < 0.3

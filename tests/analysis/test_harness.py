@@ -1,0 +1,62 @@
+"""Tests of the programmatic evaluation harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.harness import EvaluationHarness, EvaluationScale
+
+
+@pytest.fixture(scope="module")
+def small_harness():
+    """A harness over three workloads at a very small scale (fast tests)."""
+    scale = EvaluationScale(
+        references_per_workload=8_000,
+        small_buffer=2_000,
+        big_buffer=8_000,
+        interval_length=2_000,
+        set_counts=(64, 256),
+    )
+    return EvaluationHarness(scale, workloads=("429.mcf", "433.milc", "458.sjeng"))
+
+
+class TestEvaluationHarness:
+    def test_trace_cache_reuses_objects(self, small_harness):
+        first = small_harness.trace("429.mcf")
+        second = small_harness.trace("429.mcf")
+        assert first is second
+
+    def test_lossless_comparison_structure(self, small_harness):
+        comparison = small_harness.lossless_comparison(include_vpc=False)
+        assert set(comparison.means) == {"bz2", "us", "bs-small", "bs-big"}
+        assert "Table 1" in comparison.text
+        for row in comparison.rows.values():
+            assert row["bs-big"] <= row["bz2"] * 1.05
+
+    def test_lossy_comparison_structure(self, small_harness):
+        comparison = small_harness.lossy_comparison()
+        assert set(comparison.means) == {"lossless", "lossy"}
+        assert comparison.rows
+
+    def test_miss_ratio_fidelity(self, small_harness):
+        results = small_harness.miss_ratio_fidelity(workloads=("429.mcf",))
+        assert "429.mcf" in results
+        assert results["429.mcf"].max_miss_ratio_error < 0.3
+
+    def test_predictor_fidelity(self, small_harness):
+        distances = small_harness.predictor_fidelity(workloads=("433.milc",))
+        if distances:  # the milc trace may filter down below two intervals
+            assert 0.0 <= distances["433.milc"] <= 2.0
+
+    def test_full_report_contains_all_sections(self, small_harness):
+        report = small_harness.full_report(figure_workloads=("429.mcf",))
+        assert "Table 1" in report
+        assert "Table 3" in report
+        assert "Figure 3 [429.mcf]" in report
+
+    def test_scale_lossy_config(self):
+        scale = EvaluationScale(interval_length=123, threshold=0.2)
+        config = scale.lossy_config(enable_translation=False)
+        assert config.interval_length == 123
+        assert config.threshold == pytest.approx(0.2)
+        assert config.enable_translation is False

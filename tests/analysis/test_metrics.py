@@ -1,0 +1,84 @@
+"""Tests of the evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    BpaTableRow,
+    arithmetic_mean,
+    bits_per_address,
+    compression_ratio,
+    distinct_address_ratio,
+    sequence_length_preserved,
+)
+
+
+class TestBitsPerAddress:
+    def test_basic_computation(self):
+        # 100 addresses compressed to 100 bytes -> 8 bits per address.
+        assert bits_per_address(100, 100) == pytest.approx(8.0)
+
+    def test_zero_addresses(self):
+        assert bits_per_address(100, 0) == 0.0
+
+    def test_uncompressed_trace_is_64_bits(self):
+        assert bits_per_address(8 * 1_000, 1_000) == pytest.approx(64.0)
+
+
+class TestCompressionRatio:
+    def test_basic_computation(self):
+        # 1000 addresses = 8000 bytes; compressed to 800 bytes -> ratio 10.
+        assert compression_ratio(800, 1_000) == pytest.approx(10.0)
+
+    def test_zero_compressed_size(self):
+        assert compression_ratio(0, 10) == float("inf")
+
+    def test_consistency_with_bpa(self):
+        compressed, count = 1234, 10_000
+        assert compression_ratio(compressed, count) == pytest.approx(
+            64.0 / bits_per_address(compressed, count)
+        )
+
+
+class TestArithmeticMean:
+    def test_mean(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert arithmetic_mean([]) == 0.0
+
+
+class TestDistinctAddressRatio:
+    def test_identical_traces(self, random_addresses):
+        assert distinct_address_ratio(random_addresses, random_addresses) == pytest.approx(1.0)
+
+    def test_collapsed_footprint(self):
+        exact = np.arange(1_000, dtype=np.uint64)
+        approx = np.zeros(1_000, dtype=np.uint64)
+        assert distinct_address_ratio(approx, exact) == pytest.approx(0.001)
+
+    def test_empty_exact_trace(self):
+        assert distinct_address_ratio(np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.uint64)) == 1.0
+
+
+class TestSequenceLengthPreserved:
+    def test_preserved(self):
+        assert sequence_length_preserved([1, 2, 3], [4, 5, 6])
+
+    def test_not_preserved(self):
+        assert not sequence_length_preserved([1, 2], [1, 2, 3])
+
+
+class TestBpaTableRow:
+    def test_formatting(self):
+        row = BpaTableRow("429.mcf", {"bz2": 15.56, "bs1": 7.81})
+        text = row.formatted(["bz2", "bs1"])
+        assert "429.mcf" in text
+        assert "15.56" in text
+        assert "7.81" in text
+
+    def test_missing_column_renders_nan(self):
+        row = BpaTableRow("x", {"bz2": 1.0})
+        assert "nan" in row.formatted(["tcg"])

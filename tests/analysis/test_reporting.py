@@ -1,0 +1,57 @@
+"""Tests of the text-table reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import render_breakdown_table, render_series, render_table
+
+
+class TestRenderTable:
+    def test_contains_rows_columns_and_mean(self):
+        rows = {
+            "429.mcf": {"bz2": 15.56, "bs1": 7.81},
+            "462.libquantum": {"bz2": 4.72, "bs1": 0.06},
+        }
+        text = render_table("Table 1", rows, columns=["bz2", "bs1"])
+        assert "Table 1" in text
+        assert "429.mcf" in text
+        assert "15.56" in text
+        assert "arith. mean" in text
+        # mean of bz2 column = (15.56 + 4.72) / 2 = 10.14
+        assert "10.14" in text
+
+    def test_missing_cell_renders_na(self):
+        text = render_table("t", {"x": {"a": 1.0}}, columns=["a", "b"], mean_row=False)
+        assert "n/a" in text
+
+    def test_no_mean_row_when_disabled(self):
+        text = render_table("t", {"x": {"a": 1.0}}, columns=["a"], mean_row=False)
+        assert "arith. mean" not in text
+
+
+class TestRenderSeries:
+    def test_contains_series_and_x_values(self):
+        text = render_series(
+            "Figure 3 (trace 429)",
+            x_label="associativity",
+            x_values=[1, 2, 4],
+            series={"exact 2k": [0.5, 0.4, 0.3], "approx 2k": [0.51, 0.41, 0.29]},
+        )
+        assert "Figure 3" in text
+        assert "exact 2k" in text
+        assert "0.5100" in text
+
+
+class TestRenderBreakdownTable:
+    def test_contains_percentages(self):
+        text = render_breakdown_table(
+            "Figure 5",
+            {
+                "429 exact": {"non_predicted": 0.2, "correct": 0.7, "incorrect": 0.1},
+                "429 lossy": {"non_predicted": 0.22, "correct": 0.68, "incorrect": 0.1},
+            },
+        )
+        assert "Figure 5" in text
+        assert "70.0%" in text
+        assert "429 lossy" in text

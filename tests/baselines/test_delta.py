@@ -1,0 +1,63 @@
+"""Tests of the Mache/PDATS-like delta-coding baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.delta import (
+    compress_delta,
+    decompress_delta,
+    delta_bits_per_address,
+    delta_decode,
+    delta_encode,
+)
+from repro.errors import CodecError
+
+
+class TestDeltaEncoding:
+    def test_roundtrip_sequential(self, sequential_addresses):
+        assert np.array_equal(delta_decode(delta_encode(sequential_addresses)), sequential_addresses)
+
+    def test_roundtrip_random(self, random_addresses):
+        assert np.array_equal(delta_decode(delta_encode(random_addresses)), random_addresses)
+
+    def test_roundtrip_decreasing_values(self):
+        values = np.array([1000, 500, 400, 1 << 63, 3], dtype=np.uint64)
+        assert np.array_equal(delta_decode(delta_encode(values)), values)
+
+    def test_roundtrip_extremes(self):
+        values = np.array([0, (1 << 64) - 1, 0, 1 << 63], dtype=np.uint64)
+        assert np.array_equal(delta_decode(delta_encode(values)), values)
+
+    def test_small_deltas_use_one_byte(self):
+        values = np.arange(1_000, dtype=np.uint64)  # deltas of +1
+        encoded = delta_encode(values)
+        assert len(encoded) == 1_000
+
+    def test_empty_trace(self):
+        assert delta_decode(delta_encode([])).size == 0
+
+    def test_invalid_escape_byte_rejected(self):
+        with pytest.raises(CodecError):
+            delta_decode(bytes([255]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1), max_size=300))
+    def test_roundtrip_property(self, values):
+        array = np.array(values, dtype=np.uint64)
+        assert np.array_equal(delta_decode(delta_encode(array)), array)
+
+
+class TestDeltaCompression:
+    def test_compressed_roundtrip(self, working_set_addresses):
+        payload = compress_delta(working_set_addresses)
+        assert np.array_equal(decompress_delta(payload), working_set_addresses)
+
+    def test_strided_trace_compresses_extremely_well(self, sequential_addresses):
+        assert delta_bits_per_address(sequential_addresses) < 1.0
+
+    def test_empty_trace(self):
+        assert delta_bits_per_address(np.empty(0, dtype=np.uint64)) == 0.0

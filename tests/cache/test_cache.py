@@ -1,0 +1,155 @@
+"""Tests of the set-associative cache simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.cache import CacheConfig, CacheStats, SetAssociativeCache
+from repro.errors import ConfigurationError
+
+
+class TestCacheConfig:
+    def test_capacity_computation(self):
+        config = CacheConfig(num_sets=128, associativity=4, block_bytes=64)
+        assert config.capacity_bytes == 32 * 1024
+        assert config.capacity_blocks == 512
+
+    def test_from_capacity(self):
+        config = CacheConfig.from_capacity(32 * 1024, associativity=4)
+        assert config.num_sets == 128
+
+    def test_from_capacity_indivisible_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig.from_capacity(1000, associativity=3)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_sets": 0, "associativity": 1},
+            {"num_sets": 3, "associativity": 1},
+            {"num_sets": 4, "associativity": 0},
+            {"num_sets": 4, "associativity": 1, "block_bytes": 33},
+            {"num_sets": 4, "associativity": 1, "policy": "plru"},
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(**kwargs)
+
+
+class TestCacheStats:
+    def test_ratios(self):
+        stats = CacheStats(accesses=10, hits=7, misses=3)
+        assert stats.hit_ratio == pytest.approx(0.7)
+        assert stats.miss_ratio == pytest.approx(0.3)
+
+    def test_empty_ratios(self):
+        assert CacheStats().miss_ratio == 0.0
+        assert CacheStats().hit_ratio == 0.0
+
+    def test_merge(self):
+        merged = CacheStats(10, 7, 3, 1).merge(CacheStats(20, 10, 10, 5))
+        assert merged.accesses == 30
+        assert merged.misses == 13
+        assert merged.evictions == 6
+
+
+class TestSetAssociativeCacheBasics:
+    def test_first_access_misses_second_hits(self):
+        cache = SetAssociativeCache(CacheConfig(num_sets=4, associativity=2))
+        assert cache.access_block(100) is False
+        assert cache.access_block(100) is True
+        assert cache.stats.accesses == 2
+        assert cache.stats.misses == 1
+
+    def test_byte_address_access_maps_to_block(self):
+        cache = SetAssociativeCache(CacheConfig(num_sets=4, associativity=2, block_bytes=64))
+        cache.access(0)
+        assert cache.access(63) is True  # same 64-byte block
+        assert cache.access(64) is False  # next block
+
+    def test_capacity_eviction_lru(self):
+        # Direct-mapped set of 1 way: the second distinct block evicts the first.
+        cache = SetAssociativeCache(CacheConfig(num_sets=1, associativity=1))
+        cache.access_block(0)
+        cache.access_block(1)
+        assert cache.access_block(0) is False
+        assert cache.stats.evictions >= 1
+
+    def test_lru_evicts_least_recently_used(self):
+        cache = SetAssociativeCache(CacheConfig(num_sets=1, associativity=2, policy="lru"))
+        cache.access_block(0)
+        cache.access_block(1)
+        cache.access_block(0)       # 1 is now LRU
+        cache.access_block(2)       # evicts 1
+        assert cache.access_block(0) is True
+        assert cache.access_block(1) is False
+
+    def test_fifo_ignores_reuse(self):
+        cache = SetAssociativeCache(CacheConfig(num_sets=1, associativity=2, policy="fifo"))
+        cache.access_block(0)
+        cache.access_block(1)
+        cache.access_block(0)       # reuse must NOT refresh FIFO order
+        cache.access_block(2)       # evicts 0 (the oldest fill)
+        assert cache.access_block(1) is True
+        assert cache.access_block(0) is False
+
+    def test_random_policy_keeps_capacity_bounded(self):
+        cache = SetAssociativeCache(CacheConfig(num_sets=2, associativity=2, policy="random"))
+        for block in range(100):
+            cache.access_block(block)
+        assert len(cache.resident_blocks()) <= 4
+
+    def test_set_mapping_uses_low_bits(self):
+        cache = SetAssociativeCache(CacheConfig(num_sets=4, associativity=1))
+        cache.access_block(0)
+        cache.access_block(4)  # same set (block % 4 == 0), evicts block 0
+        assert cache.access_block(0) is False
+        cache.access_block(1)  # different set, no interference
+        assert cache.access_block(1) is True
+
+    def test_contains_and_resident_blocks(self):
+        cache = SetAssociativeCache(CacheConfig(num_sets=4, associativity=2))
+        cache.access_block(10)
+        assert cache.contains_block(10)
+        assert 10 in cache.resident_blocks()
+
+    def test_flush_and_reset(self):
+        cache = SetAssociativeCache(CacheConfig(num_sets=4, associativity=2))
+        cache.access_block(1)
+        cache.flush()
+        assert not cache.contains_block(1)
+        assert cache.stats.accesses == 1
+        cache.reset()
+        assert cache.stats.accesses == 0
+
+
+class TestCacheTraceHelpers:
+    def test_access_trace_counts(self, working_set_addresses):
+        cache = SetAssociativeCache(CacheConfig(num_sets=64, associativity=4))
+        stats = cache.access_trace(working_set_addresses[:5_000].tolist())
+        assert stats.accesses == 5_000
+        assert stats.hits + stats.misses == 5_000
+
+    def test_miss_stream_matches_miss_count(self, working_set_addresses):
+        cache = SetAssociativeCache(CacheConfig(num_sets=64, associativity=4))
+        misses = cache.miss_stream(working_set_addresses[:5_000].tolist())
+        assert misses.size == cache.stats.misses
+
+    def test_fully_resident_working_set_has_cold_misses_only(self):
+        cache = SetAssociativeCache(CacheConfig(num_sets=64, associativity=4))
+        blocks = np.tile(np.arange(100, dtype=np.uint64), 50)
+        cache.access_trace(blocks.tolist())
+        assert cache.stats.misses == 100  # only compulsory misses
+
+    def test_miss_ratio_of_random_access_matches_theory(self):
+        """Random access over N blocks with a C-block cache: miss ~ 1 - C/N."""
+        rng = np.random.default_rng(0)
+        num_blocks = 4_096
+        cache_blocks = 1_024
+        cache = SetAssociativeCache(CacheConfig(num_sets=256, associativity=4))
+        blocks = rng.integers(0, num_blocks, size=60_000, dtype=np.uint64)
+        stats = cache.access_trace(blocks.tolist())
+        expected = 1.0 - cache_blocks / num_blocks
+        assert stats.miss_ratio == pytest.approx(expected, abs=0.05)

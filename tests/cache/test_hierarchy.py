@@ -1,0 +1,77 @@
+"""Tests of the multi-level cache hierarchy filter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.cache import CacheConfig
+from repro.cache.hierarchy import CacheHierarchy
+from repro.errors import ConfigurationError
+
+
+def _small_hierarchy():
+    return CacheHierarchy(
+        [
+            CacheConfig(num_sets=4, associativity=2, name="L1"),
+            CacheConfig(num_sets=16, associativity=4, name="L2"),
+        ]
+    )
+
+
+class TestCacheHierarchy:
+    def test_needs_at_least_one_level(self):
+        with pytest.raises(ConfigurationError):
+            CacheHierarchy([])
+
+    def test_levels_must_share_block_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheHierarchy(
+                [
+                    CacheConfig(num_sets=4, associativity=1, block_bytes=64),
+                    CacheConfig(num_sets=4, associativity=1, block_bytes=128),
+                ]
+            )
+
+    def test_single_level_behaves_like_plain_cache(self):
+        hierarchy = CacheHierarchy([CacheConfig(num_sets=4, associativity=2)])
+        assert hierarchy.access_block(1) is False
+        assert hierarchy.access_block(1) is True
+
+    def test_miss_stream_only_contains_last_level_misses(self):
+        hierarchy = _small_hierarchy()
+        blocks = list(range(32)) + list(range(32))
+        misses = hierarchy.miss_stream(blocks)
+        # First pass: 32 cold misses; second pass: everything fits in L2 (64 blocks).
+        assert misses.tolist() == list(range(32))
+
+    def test_second_level_catches_first_level_victims(self):
+        hierarchy = _small_hierarchy()
+        # 16 blocks exceed L1 (8 blocks) but fit in L2 (64 blocks).
+        for block in range(16):
+            hierarchy.access_block(block)
+        hits = sum(hierarchy.access_block(block) for block in range(16))
+        assert hits == 16
+
+    def test_stats_per_level(self):
+        hierarchy = _small_hierarchy()
+        hierarchy.access_block(0)
+        hierarchy.access_block(0)
+        stats = hierarchy.stats()
+        assert stats[0].accesses == 2
+        assert stats[1].accesses == 1  # the hit never reached L2
+
+    def test_byte_address_access(self):
+        hierarchy = _small_hierarchy()
+        assert hierarchy.access(0) is False
+        assert hierarchy.access(63) is True
+
+    def test_reset(self):
+        hierarchy = _small_hierarchy()
+        hierarchy.access_block(1)
+        hierarchy.reset()
+        assert hierarchy.stats()[0].accesses == 0
+        assert hierarchy.access_block(1) is False
+
+    def test_len(self):
+        assert len(_small_hierarchy()) == 2

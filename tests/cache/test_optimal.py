@@ -1,0 +1,81 @@
+"""Tests of the Belady/MIN optimal-replacement simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.cache import CacheConfig, SetAssociativeCache
+from repro.cache.optimal import OptimalCacheSimulator, optimal_miss_ratio
+from repro.cache.stackdist import simulate_miss_curve
+from repro.errors import ConfigurationError
+
+
+class TestOptimalSimulatorBasics:
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            OptimalCacheSimulator(num_sets=3, associativity=2)
+        with pytest.raises(ConfigurationError):
+            OptimalCacheSimulator(num_sets=4, associativity=0)
+
+    def test_cold_misses_only_when_everything_fits(self):
+        simulator = OptimalCacheSimulator(num_sets=1, associativity=4)
+        stats = simulator.simulate([1, 2, 3, 1, 2, 3, 1, 2, 3])
+        assert stats.misses == 3
+        assert stats.hits == 6
+
+    def test_empty_trace(self):
+        stats = OptimalCacheSimulator(num_sets=2, associativity=2).simulate([])
+        assert stats.accesses == 0
+        assert stats.miss_ratio == 0.0
+
+    def test_belady_textbook_example(self):
+        """Classic MIN example: OPT keeps the block reused soonest."""
+        # Fully associative, 3 blocks, reference string from textbooks.
+        trace = [7, 0, 1, 2, 0, 3, 0, 4, 2, 3, 0, 3, 2]
+        stats = OptimalCacheSimulator(num_sets=1, associativity=3).simulate(trace)
+        # The known OPT fault count for this string with 3 frames is 7.
+        assert stats.misses == 7
+
+    def test_sequential_scan_has_no_reuse(self):
+        stats = OptimalCacheSimulator(num_sets=4, associativity=2).simulate(list(range(100)))
+        assert stats.misses == 100
+
+
+class TestOptimalVsLru:
+    @pytest.mark.parametrize("associativity", [1, 2, 4, 8])
+    def test_opt_never_worse_than_lru(self, associativity, working_set_addresses):
+        """Belady optimality: OPT misses <= LRU misses on the same config."""
+        blocks = working_set_addresses[:8_000].tolist()
+        num_sets = 16
+        lru = SetAssociativeCache(
+            CacheConfig(num_sets=num_sets, associativity=associativity, policy="lru")
+        )
+        lru.access_trace(blocks)
+        opt_stats = OptimalCacheSimulator(num_sets, associativity).simulate(blocks)
+        assert opt_stats.misses <= lru.stats.misses
+        assert opt_stats.accesses == lru.stats.accesses
+
+    def test_opt_matches_lru_when_no_capacity_pressure(self):
+        blocks = (list(range(32)) * 10)
+        num_sets, associativity = 8, 4  # 32 blocks fit exactly
+        lru = SetAssociativeCache(CacheConfig(num_sets=num_sets, associativity=associativity))
+        lru.access_trace(blocks)
+        opt_stats = OptimalCacheSimulator(num_sets, associativity).simulate(blocks)
+        assert opt_stats.misses == lru.stats.misses == 32
+
+    def test_opt_bounded_below_by_cold_misses(self, working_set_addresses):
+        blocks = working_set_addresses[:5_000]
+        distinct = int(np.unique(blocks).size)
+        stats = OptimalCacheSimulator(64, 4).simulate(blocks.tolist())
+        assert stats.misses >= distinct
+
+    def test_convenience_wrapper(self, working_set_addresses):
+        ratio = optimal_miss_ratio(working_set_addresses[:3_000], num_sets=64, associativity=2)
+        assert 0.0 <= ratio <= 1.0
+
+    def test_opt_below_every_lru_associativity_curve(self, working_set_addresses):
+        blocks = working_set_addresses[:6_000]
+        curve = simulate_miss_curve(blocks, num_sets=32, max_associativity=8)
+        opt_stats = OptimalCacheSimulator(32, 8).simulate(blocks.tolist())
+        assert opt_stats.misses <= curve.miss_counts[8]

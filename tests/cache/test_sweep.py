@@ -1,0 +1,50 @@
+"""Tests of miss-ratio sweeps over (sets, associativity) grids."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.sweep import DEFAULT_ASSOCIATIVITIES, miss_ratio_sweep
+
+
+class TestMissRatioSweep:
+    def test_surface_contains_every_set_count(self, working_set_addresses):
+        surface = miss_ratio_sweep(working_set_addresses[:10_000], set_counts=[16, 64], trace_name="t")
+        assert surface.set_counts == [16, 64]
+        assert surface.trace_name == "t"
+
+    def test_miss_ratio_decreases_with_cache_size(self, working_set_addresses):
+        surface = miss_ratio_sweep(working_set_addresses[:20_000], set_counts=[16, 64, 256])
+        for associativity in (1, 4, 16):
+            ratios = [surface.miss_ratio(sets, associativity) for sets in (16, 64, 256)]
+            assert ratios[0] >= ratios[1] >= ratios[2]
+
+    def test_series_matches_default_associativities(self, working_set_addresses):
+        surface = miss_ratio_sweep(working_set_addresses[:5_000], set_counts=[32])
+        series = surface.series(32)
+        assert len(series) == len(DEFAULT_ASSOCIATIVITIES)
+        assert all(0.0 <= value <= 1.0 for value in series)
+
+    def test_identical_surfaces_have_zero_error(self, working_set_addresses):
+        blocks = working_set_addresses[:5_000]
+        surface_a = miss_ratio_sweep(blocks, set_counts=[16, 32])
+        surface_b = miss_ratio_sweep(blocks, set_counts=[16, 32])
+        assert surface_a.max_absolute_error(surface_b) == 0.0
+        assert surface_a.mean_absolute_error(surface_b) == 0.0
+
+    def test_different_traces_have_positive_error(self, working_set_addresses, sequential_addresses):
+        surface_a = miss_ratio_sweep(working_set_addresses[:5_000], set_counts=[16])
+        surface_b = miss_ratio_sweep(sequential_addresses[:5_000], set_counts=[16])
+        assert surface_a.max_absolute_error(surface_b) > 0.0
+
+    def test_accepts_python_lists(self):
+        surface = miss_ratio_sweep([1, 2, 3, 1, 2, 3], set_counts=[2])
+        assert surface.miss_ratio(2, 32) <= 1.0
+
+    def test_fully_cached_trace_has_only_cold_misses(self):
+        blocks = np.tile(np.arange(16, dtype=np.uint64), 100)
+        surface = miss_ratio_sweep(blocks, set_counts=[16])
+        # 16 cold misses out of 1600 accesses at any associativity >= 1.
+        assert surface.miss_ratio(16, 1) == pytest.approx(16 / 1600)
+        assert surface.miss_ratio(16, 32) == pytest.approx(16 / 1600)

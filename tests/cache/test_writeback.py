@@ -1,0 +1,138 @@
+"""Tests of write-back modelling in the cache and the tagged filter mode."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.cache import CacheConfig, SetAssociativeCache
+from repro.errors import ConfigurationError
+from repro.traces import synthetic
+from repro.traces.filter import CacheFilter
+from repro.traces.records import RecordKind, untag_addresses
+from repro.traces.synthetic import ReferenceStream, make_reference_stream
+
+
+class TestWriteBackCache:
+    def test_clean_eviction_produces_no_writeback(self):
+        cache = SetAssociativeCache(CacheConfig(num_sets=1, associativity=1))
+        cache.access_block_rw(1, is_write=False)
+        hit, writeback = cache.access_block_rw(2, is_write=False)
+        assert not hit
+        assert writeback is None
+        assert cache.stats.writebacks == 0
+
+    def test_dirty_eviction_produces_writeback(self):
+        cache = SetAssociativeCache(CacheConfig(num_sets=1, associativity=1))
+        cache.access_block_rw(1, is_write=True)
+        hit, writeback = cache.access_block_rw(2, is_write=False)
+        assert not hit
+        assert writeback == 1
+        assert cache.stats.writebacks == 1
+
+    def test_write_hit_marks_block_dirty(self):
+        cache = SetAssociativeCache(CacheConfig(num_sets=1, associativity=1))
+        cache.access_block_rw(1, is_write=False)
+        cache.access_block_rw(1, is_write=True)   # hit, now dirty
+        _, writeback = cache.access_block_rw(2, is_write=False)
+        assert writeback == 1
+
+    def test_writeback_clears_dirty_state(self):
+        cache = SetAssociativeCache(CacheConfig(num_sets=1, associativity=1))
+        cache.access_block_rw(1, is_write=True)
+        cache.access_block_rw(2, is_write=False)   # writes back block 1
+        # Re-fetch block 1 cleanly and evict it again: no second write-back.
+        cache.access_block_rw(1, is_write=False)
+        _, writeback = cache.access_block_rw(3, is_write=False)
+        assert writeback is None
+        assert cache.stats.writebacks == 1
+
+    def test_dirty_blocks_view_and_flush(self):
+        cache = SetAssociativeCache(CacheConfig(num_sets=2, associativity=2))
+        cache.access_block_rw(0, is_write=True)
+        cache.access_block_rw(1, is_write=False)
+        assert cache.dirty_blocks() == {0}
+        cache.flush()
+        assert cache.dirty_blocks() == set()
+
+    def test_read_only_api_unchanged(self):
+        cache = SetAssociativeCache(CacheConfig(num_sets=2, associativity=2))
+        assert cache.access_block(5) is False
+        assert cache.access_block(5) is True
+        assert cache.stats.writebacks == 0
+
+
+class TestReferenceStreamWrites:
+    def test_default_is_all_reads(self):
+        stream = ReferenceStream(np.arange(5, dtype=np.uint64), np.zeros(5, dtype=bool))
+        assert stream.is_write.sum() == 0
+        assert stream.write_addresses.size == 0
+
+    def test_write_fraction_generates_writes(self):
+        data = synthetic.sequential_stream(10_000, base=0)
+        stream = make_reference_stream(data, instruction_ratio=0.5, write_fraction=0.3, seed=1)
+        write_share = stream.is_write.sum() / stream.data_addresses.size
+        assert 0.25 < write_share < 0.35
+        assert not bool((stream.is_write & stream.is_instruction).any())
+
+    def test_instruction_writes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReferenceStream(
+                np.arange(2, dtype=np.uint64),
+                np.array([True, False]),
+                is_write=np.array([True, False]),
+            )
+
+    def test_invalid_write_fraction(self):
+        with pytest.raises(ConfigurationError):
+            make_reference_stream(np.arange(10, dtype=np.uint64), write_fraction=1.5)
+
+    def test_mismatched_write_mask_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReferenceStream(
+                np.arange(3, dtype=np.uint64), np.zeros(3, dtype=bool), is_write=np.zeros(2, dtype=bool)
+            )
+
+
+class TestTaggedFilter:
+    def _stream(self, working_set_blocks: int = 4_096, length: int = 30_000, write_fraction: float = 0.4):
+        data = synthetic.random_working_set(length, working_set_blocks=working_set_blocks, seed=3)
+        return make_reference_stream(data, instruction_ratio=0.2, write_fraction=write_fraction, seed=3)
+
+    def test_tagged_trace_contains_all_record_kinds(self):
+        result = CacheFilter().filter_tagged(self._stream())
+        _, kinds = untag_addresses(result.trace.addresses)
+        present = set(kinds.tolist())
+        assert int(RecordKind.DEMAND_MISS) in present
+        assert int(RecordKind.WRITE_BACK) in present
+        assert int(RecordKind.INSTRUCTION_MISS) in present
+
+    def test_writeback_count_matches_cache_stats(self):
+        cache_filter = CacheFilter()
+        result = cache_filter.filter_tagged(self._stream())
+        _, kinds = untag_addresses(result.trace.addresses)
+        writebacks = int((kinds == int(RecordKind.WRITE_BACK)).sum())
+        assert writebacks == cache_filter.data_cache.stats.writebacks
+
+    def test_no_writes_means_no_writebacks(self):
+        result = CacheFilter().filter_tagged(self._stream(write_fraction=0.0))
+        _, kinds = untag_addresses(result.trace.addresses)
+        assert int((kinds == int(RecordKind.WRITE_BACK)).sum()) == 0
+
+    def test_demand_misses_match_untagged_filter(self):
+        """The demand-miss sub-stream equals what the plain filter emits."""
+        stream = self._stream()
+        plain = CacheFilter().filter(stream)
+        tagged = CacheFilter().filter_tagged(stream)
+        addresses, kinds = untag_addresses(tagged.trace.addresses)
+        demand_mask = kinds != int(RecordKind.WRITE_BACK)
+        assert np.array_equal(addresses[demand_mask], plain.trace.addresses)
+
+    def test_tagged_trace_compresses_and_roundtrips(self):
+        """Tagged traces are still plain 64-bit traces for the ATC codecs."""
+        from repro.core.lossless import LosslessCodec
+
+        result = CacheFilter().filter_tagged(self._stream(length=15_000))
+        codec = LosslessCodec(buffer_addresses=4_000)
+        recovered = codec.decompress(codec.compress(result.trace.addresses))
+        assert np.array_equal(recovered, result.trace.addresses)

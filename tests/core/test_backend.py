@@ -1,0 +1,69 @@
+"""Tests of the byte-level compression back-ends."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.backend import (
+    CompressionBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBackendRegistry:
+    def test_standard_backends_are_registered(self):
+        names = available_backends()
+        for expected in ("bz2", "zlib", "gz", "lzma", "xz", "store"):
+            assert expected in names
+
+    def test_get_backend_by_name(self):
+        backend = get_backend("bz2")
+        assert backend.name == "bz2"
+
+    def test_get_backend_passthrough_instance(self):
+        backend = get_backend("zlib")
+        assert get_backend(backend) is backend
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_backend("zstd-not-here")
+
+    def test_register_custom_backend(self):
+        custom = CompressionBackend("reverse", lambda d: d[::-1], lambda d: d[::-1])
+        register_backend(custom)
+        assert get_backend("reverse").roundtrip(b"hello") == b"hello"
+
+
+class TestBackendRoundtrips:
+    @pytest.mark.parametrize("name", ["bz2", "zlib", "gz", "lzma", "xz", "store"])
+    def test_roundtrip_simple_payload(self, name):
+        backend = get_backend(name)
+        payload = b"the quick brown fox " * 100
+        assert backend.roundtrip(payload) == payload
+
+    @pytest.mark.parametrize("name", ["bz2", "zlib", "lzma"])
+    def test_compresses_redundant_data(self, name):
+        backend = get_backend(name)
+        payload = b"\x00" * 100_000
+        assert len(backend.compress(payload)) < len(payload) // 100
+
+    @pytest.mark.parametrize("name", ["bz2", "zlib", "store"])
+    def test_empty_payload(self, name):
+        backend = get_backend(name)
+        assert backend.roundtrip(b"") == b""
+
+    def test_store_backend_is_identity(self):
+        backend = get_backend("store")
+        payload = bytes(range(256))
+        assert backend.compress(payload) == payload
+        assert backend.decompress(payload) == payload
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=0, max_size=2048), st.sampled_from(["bz2", "zlib", "lzma", "store"]))
+    def test_roundtrip_arbitrary_bytes(self, payload, name):
+        assert get_backend(name).roundtrip(payload) == payload

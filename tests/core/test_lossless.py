@@ -1,0 +1,99 @@
+"""Tests of the bytesort-based lossless codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.generic import raw_bits_per_address
+from repro.core.lossless import (
+    LosslessCodec,
+    lossless_bits_per_address,
+    lossless_compress,
+    lossless_decompress,
+)
+from repro.errors import CodecError
+
+
+class TestLosslessRoundtrip:
+    @pytest.mark.parametrize("buffer_addresses", [100, 1_000, 50_000])
+    def test_roundtrip_sequential(self, sequential_addresses, buffer_addresses):
+        codec = LosslessCodec(buffer_addresses=buffer_addresses)
+        assert np.array_equal(codec.decompress(codec.compress(sequential_addresses)), sequential_addresses)
+
+    def test_roundtrip_random(self, random_addresses):
+        codec = LosslessCodec(buffer_addresses=3_000)
+        assert np.array_equal(codec.decompress(codec.compress(random_addresses)), random_addresses)
+
+    def test_roundtrip_working_set(self, working_set_addresses):
+        codec = LosslessCodec(buffer_addresses=10_000)
+        payload = codec.compress(working_set_addresses)
+        assert np.array_equal(codec.decompress(payload), working_set_addresses)
+
+    def test_roundtrip_empty_trace(self):
+        codec = LosslessCodec()
+        assert codec.decompress(codec.compress(np.empty(0, dtype=np.uint64))).size == 0
+
+    def test_decompressor_reads_buffer_size_from_header(self, random_addresses):
+        payload = lossless_compress(random_addresses, buffer_addresses=777)
+        assert np.array_equal(lossless_decompress(payload), random_addresses)
+
+    @pytest.mark.parametrize("backend", ["bz2", "zlib", "lzma", "store"])
+    def test_roundtrip_all_backends(self, sequential_addresses, backend):
+        codec = LosslessCodec(buffer_addresses=5_000, backend=backend)
+        assert np.array_equal(
+            codec.decompress(codec.compress(sequential_addresses)), sequential_addresses
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1), min_size=0, max_size=300))
+    def test_roundtrip_property(self, values):
+        array = np.array(values, dtype=np.uint64)
+        codec = LosslessCodec(buffer_addresses=64, backend="zlib")
+        assert np.array_equal(codec.decompress(codec.compress(array)), array)
+
+
+class TestLosslessCompressionQuality:
+    def test_regular_trace_compresses_well(self, sequential_addresses):
+        bpa = lossless_bits_per_address(sequential_addresses, buffer_addresses=10_000)
+        assert bpa < 2.0  # 64 bits down to under 2 bits per address
+
+    def test_bytesort_beats_plain_bzip2_on_filtered_trace(self, filtered_trace):
+        """The core Table 1 claim: bytesort+bzip2 beats bzip2 alone."""
+        addresses = filtered_trace.addresses
+        bytesort_bpa = lossless_bits_per_address(addresses, buffer_addresses=len(addresses))
+        plain_bpa = raw_bits_per_address(addresses)
+        assert bytesort_bpa < plain_bpa
+
+    def test_bigger_buffer_never_much_worse(self, working_set_addresses):
+        """Section 4.1: a bigger buffer exposes more regularity."""
+        small = lossless_bits_per_address(working_set_addresses, buffer_addresses=2_000)
+        big = lossless_bits_per_address(working_set_addresses, buffer_addresses=60_000)
+        assert big <= small * 1.10  # allow small noise, but the trend must hold
+
+    def test_bits_per_address_of_empty_trace(self):
+        assert LosslessCodec().bits_per_address(np.empty(0, dtype=np.uint64)) == 0.0
+
+
+class TestLosslessErrors:
+    def test_invalid_buffer_size(self):
+        with pytest.raises(CodecError):
+            LosslessCodec(buffer_addresses=0)
+
+    def test_truncated_stream(self):
+        with pytest.raises(CodecError):
+            LosslessCodec().decompress(b"shrt")
+
+    def test_bad_magic(self, sequential_addresses):
+        payload = bytearray(lossless_compress(sequential_addresses))
+        payload[:4] = b"XXXX"
+        with pytest.raises(CodecError):
+            lossless_decompress(bytes(payload))
+
+    def test_corrupt_body_detected(self, sequential_addresses):
+        payload = lossless_compress(sequential_addresses, buffer_addresses=1_000)
+        corrupted = payload[:-10]
+        with pytest.raises(Exception):
+            lossless_decompress(corrupted)

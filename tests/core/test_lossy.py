@@ -1,0 +1,196 @@
+"""Tests of the lossy phase-based codec (paper Section 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lossy import (
+    LossyCodec,
+    LossyConfig,
+    LossyIntervalEncoder,
+    lossy_compress,
+    lossy_decompress,
+)
+from repro.errors import ConfigurationError
+from repro.traces import synthetic
+
+
+class TestLossyConfig:
+    def test_defaults_are_valid(self):
+        config = LossyConfig()
+        assert config.threshold == pytest.approx(0.1)
+
+    def test_paper_defaults(self):
+        config = LossyConfig.paper_defaults()
+        assert config.interval_length == 10_000_000
+        assert config.threshold == pytest.approx(0.1)
+
+    def test_paper_defaults_with_override(self):
+        config = LossyConfig.paper_defaults(interval_length=1_000)
+        assert config.interval_length == 1_000
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"interval_length": 0},
+            {"interval_length": -5},
+            {"threshold": -0.1},
+            {"threshold": 2.5},
+            {"chunk_buffer_addresses": 0},
+            {"backend": "no-such-backend"},
+        ],
+    )
+    def test_invalid_configurations(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            LossyConfig(**kwargs)
+
+
+class TestLossyStructure:
+    def test_first_interval_is_always_a_chunk(self, working_set_addresses):
+        config = LossyConfig(interval_length=10_000)
+        compressed = lossy_compress(working_set_addresses, config)
+        assert compressed.records[0].kind == "chunk"
+        assert compressed.records[0].chunk_id == 0
+
+    def test_length_preserved(self, working_set_addresses):
+        config = LossyConfig(interval_length=7_000)
+        compressed = lossy_compress(working_set_addresses, config)
+        approx = lossy_decompress(compressed)
+        assert approx.size == working_set_addresses.size
+
+    def test_number_of_intervals(self, working_set_addresses):
+        config = LossyConfig(interval_length=10_000)
+        compressed = lossy_compress(working_set_addresses, config)
+        expected = -(-working_set_addresses.size // 10_000)
+        assert compressed.num_intervals == expected
+        assert sum(record.length for record in compressed.records) == working_set_addresses.size
+
+    def test_stationary_trace_stores_single_chunk(self, working_set_addresses):
+        """The Figure 8 behaviour: all intervals look like the first one."""
+        config = LossyConfig(interval_length=10_000, threshold=0.1)
+        compressed = lossy_compress(working_set_addresses, config)
+        assert compressed.num_chunks == 1
+        assert all(record.kind == "imitate" for record in compressed.records[1:])
+
+    def test_unstable_trace_stores_many_chunks(self, rng):
+        """Intervals with genuinely different structure must become chunks."""
+        pieces = []
+        pieces.append(synthetic.sequential_stream(5_000, base=0x1000_0000, stride=64))
+        pieces.append(synthetic.random_working_set(5_000, working_set_blocks=100, seed=1))
+        pieces.append(synthetic.random_working_set(5_000, working_set_blocks=200_000, seed=2))
+        pieces.append(synthetic.pointer_chase(5_000, num_nodes=64, seed=3))
+        trace = synthetic.phased_stream(pieces) >> np.uint64(6)
+        config = LossyConfig(interval_length=5_000, threshold=0.05)
+        compressed = lossy_compress(trace, config)
+        assert compressed.num_chunks >= 3
+
+    def test_zero_threshold_disables_imitation_for_nonidentical_intervals(self, rng):
+        trace = rng.integers(0, 1 << 40, size=40_000, dtype=np.uint64)
+        config = LossyConfig(interval_length=10_000, threshold=0.0)
+        compressed = lossy_compress(trace, config)
+        assert compressed.num_chunks == compressed.num_intervals
+
+    def test_empty_trace(self):
+        compressed = lossy_compress(np.empty(0, dtype=np.uint64))
+        assert compressed.num_chunks == 0
+        assert lossy_decompress(compressed).size == 0
+
+    def test_trace_shorter_than_interval(self, rng):
+        trace = rng.integers(0, 1 << 32, size=500, dtype=np.uint64)
+        config = LossyConfig(interval_length=10_000)
+        compressed = lossy_compress(trace, config)
+        assert compressed.num_chunks == 1
+        assert np.array_equal(lossy_decompress(compressed), trace)
+
+    def test_tail_interval_handled(self, rng):
+        trace = rng.integers(0, 4096, size=25_000, dtype=np.uint64)
+        config = LossyConfig(interval_length=10_000)
+        compressed = lossy_compress(trace, config)
+        assert compressed.records[-1].length == 5_000
+        assert lossy_decompress(compressed).size == 25_000
+
+    def test_bounded_chunk_table_still_decodes(self, rng):
+        trace = rng.integers(0, 1 << 40, size=60_000, dtype=np.uint64)
+        config = LossyConfig(interval_length=5_000, threshold=0.0, max_table_entries=2)
+        compressed = lossy_compress(trace, config)
+        assert np.array_equal(lossy_decompress(compressed), trace)
+
+
+class TestLossyFidelity:
+    def test_chunk_intervals_are_exact(self, working_set_addresses):
+        config = LossyConfig(interval_length=10_000)
+        codec = LossyCodec(config)
+        compressed = codec.compress(working_set_addresses)
+        approx = codec.decompress(compressed)
+        first_chunk_length = compressed.records[0].length
+        assert np.array_equal(approx[:first_chunk_length], working_set_addresses[:first_chunk_length])
+
+    def test_distinct_address_count_roughly_preserved(self, working_set_addresses):
+        """The myopic-interval fix: footprint must not collapse."""
+        config = LossyConfig(interval_length=10_000)
+        codec = LossyCodec(config)
+        approx = codec.decompress(codec.compress(working_set_addresses))
+        exact_distinct = np.unique(working_set_addresses).size
+        approx_distinct = np.unique(approx).size
+        assert approx_distinct >= 0.8 * exact_distinct
+
+    def test_translation_disabled_shrinks_footprint(self, rng):
+        """Figure 4: without byte translation the footprint collapses."""
+        # Two phases touching disjoint regions of the same size/structure.
+        phase_a = rng.integers(0, 4096, size=20_000, dtype=np.uint64) + np.uint64(1 << 20)
+        phase_b = rng.integers(0, 4096, size=20_000, dtype=np.uint64) + np.uint64(1 << 21)
+        trace = np.concatenate([phase_a, phase_b])
+        with_translation = LossyCodec(LossyConfig(interval_length=20_000, enable_translation=True))
+        without_translation = LossyCodec(
+            LossyConfig(interval_length=20_000, enable_translation=False)
+        )
+        approx_with = with_translation.decompress(with_translation.compress(trace))
+        approx_without = without_translation.decompress(without_translation.compress(trace))
+        exact_distinct = np.unique(trace).size
+        assert np.unique(approx_with).size >= 0.8 * exact_distinct
+        assert np.unique(approx_without).size <= 0.6 * exact_distinct
+
+    def test_lossy_bpa_not_worse_than_lossless_on_stationary_trace(self, working_set_addresses):
+        from repro.core.lossless import lossless_bits_per_address
+
+        config = LossyConfig(interval_length=10_000)
+        compressed = lossy_compress(working_set_addresses, config)
+        lossless_bpa = lossless_bits_per_address(working_set_addresses, buffer_addresses=10_000)
+        assert compressed.bits_per_address() < lossless_bpa
+
+    def test_translations_recorded_only_for_imitations(self, working_set_addresses):
+        config = LossyConfig(interval_length=10_000)
+        compressed = lossy_compress(working_set_addresses, config)
+        for record in compressed.records:
+            if record.kind == "chunk":
+                assert record.translations is None
+            else:
+                assert record.translations.shape == (8, 256)
+                assert record.active_bytes.shape == (8,)
+
+
+class TestLossyIntervalEncoder:
+    def test_incremental_matches_batch(self, working_set_addresses):
+        config = LossyConfig(interval_length=10_000)
+        batch = LossyCodec(config).compress(working_set_addresses)
+        encoder = LossyIntervalEncoder(config)
+        incremental_kinds = []
+        for start in range(0, working_set_addresses.size, config.interval_length):
+            record, _ = encoder.encode_interval(
+                working_set_addresses[start : start + config.interval_length]
+            )
+            incremental_kinds.append((record.kind, record.chunk_id))
+        assert incremental_kinds == [(r.kind, r.chunk_id) for r in batch.records]
+
+    def test_chunk_payloads_only_for_new_chunks(self, working_set_addresses):
+        config = LossyConfig(interval_length=10_000)
+        encoder = LossyIntervalEncoder(config)
+        payloads = 0
+        for start in range(0, working_set_addresses.size, config.interval_length):
+            _, payload = encoder.encode_interval(
+                working_set_addresses[start : start + config.interval_length]
+            )
+            if payload is not None:
+                payloads += 1
+        assert payloads == encoder.num_chunks == 1

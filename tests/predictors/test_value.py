@@ -1,0 +1,149 @@
+"""Tests of the value predictors used by the VPC/TCgen baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.predictors.value import (
+    DifferentialFiniteContextPredictor,
+    FiniteContextPredictor,
+    LastValuePredictor,
+    StridePredictor,
+    default_tcgen_predictors,
+    make_predictor,
+)
+
+
+class TestLastValuePredictor:
+    def test_predicts_recent_values(self):
+        predictor = LastValuePredictor(depth=2)
+        assert predictor.predictions() == ()
+        predictor.update(10)
+        predictor.update(20)
+        assert predictor.predictions() == (20, 10)
+
+    def test_depth_limits_history(self):
+        predictor = LastValuePredictor(depth=2)
+        for value in (1, 2, 3):
+            predictor.update(value)
+        assert predictor.predictions() == (3, 2)
+
+    def test_duplicate_moves_to_front(self):
+        predictor = LastValuePredictor(depth=3)
+        for value in (1, 2, 3, 1):
+            predictor.update(value)
+        assert predictor.predictions() == (1, 3, 2)
+
+    def test_invalid_depth(self):
+        with pytest.raises(ConfigurationError):
+            LastValuePredictor(depth=0)
+
+
+class TestStridePredictor:
+    def test_detects_constant_stride(self):
+        predictor = StridePredictor()
+        predictor.update(100)
+        predictor.update(108)
+        assert predictor.predictions() == (116,)
+
+    def test_no_prediction_before_first_value(self):
+        assert StridePredictor().predictions() == ()
+
+    def test_stride_wraps_modulo_2_64(self):
+        predictor = StridePredictor()
+        predictor.update(10)
+        predictor.update(2)   # stride -8 (mod 2**64)
+        (prediction,) = predictor.predictions()
+        assert prediction == (2 - 8) % (1 << 64)
+
+
+class TestFiniteContextPredictor:
+    def test_learns_repeating_sequence(self):
+        predictor = FiniteContextPredictor(order=2, depth=1)
+        pattern = [1, 2, 3, 1, 2, 3, 1, 2]
+        for value in pattern:
+            predictor.update(value)
+        # Context (1, 2) has always been followed by 3.
+        assert predictor.predictions() == (3,)
+
+    def test_no_prediction_before_warmup(self):
+        predictor = FiniteContextPredictor(order=3)
+        predictor.update(1)
+        predictor.update(2)
+        assert predictor.predictions() == ()
+
+    def test_depth_keeps_multiple_candidates(self):
+        predictor = FiniteContextPredictor(order=1, depth=2)
+        for value in (5, 10, 5, 20, 5):
+            predictor.update(value)
+        candidates = predictor.predictions()
+        assert set(candidates) == {10, 20}
+        assert candidates[0] == 20  # most recent successor first
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            FiniteContextPredictor(order=0)
+        with pytest.raises(ConfigurationError):
+            FiniteContextPredictor(order=1, depth=0)
+
+
+class TestDifferentialFiniteContextPredictor:
+    def test_learns_stride_patterns(self):
+        predictor = DifferentialFiniteContextPredictor(order=2, depth=1)
+        values = [0, 8, 16, 24, 32, 40]
+        for value in values:
+            predictor.update(value)
+        assert predictor.predictions() == (48,)
+
+    def test_learns_alternating_deltas(self):
+        predictor = DifferentialFiniteContextPredictor(order=2, depth=1)
+        # Deltas alternate +1, +3: 0,1,4,5,8,9,12...
+        values = [0, 1, 4, 5, 8, 9, 12]
+        for value in values:
+            predictor.update(value)
+        assert predictor.predictions() == (13,)
+
+    def test_no_prediction_before_warmup(self):
+        predictor = DifferentialFiniteContextPredictor(order=3)
+        predictor.update(1)
+        assert predictor.predictions() == ()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            DifferentialFiniteContextPredictor(order=0)
+
+
+class TestMakePredictor:
+    @pytest.mark.parametrize(
+        "spec,expected_type",
+        [
+            ("LV", LastValuePredictor),
+            ("LV3", LastValuePredictor),
+            ("ST", StridePredictor),
+            ("FCM3[3]", FiniteContextPredictor),
+            ("fcm2[1]", FiniteContextPredictor),
+            ("DFCM3[2]", DifferentialFiniteContextPredictor),
+        ],
+    )
+    def test_spec_parsing(self, spec, expected_type):
+        assert isinstance(make_predictor(spec), expected_type)
+
+    def test_spec_orders_and_depths(self):
+        predictor = make_predictor("FCM3[2]")
+        assert predictor.order == 3
+        assert predictor.depth == 2
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_predictor("GHB4")
+        with pytest.raises(ConfigurationError):
+            make_predictor("FCM[2]")
+
+    def test_default_tcgen_bank_matches_paper(self):
+        bank = default_tcgen_predictors()
+        assert len(bank) == 4
+        assert isinstance(bank[0], DifferentialFiniteContextPredictor)
+        assert bank[0].order == 3 and bank[0].depth == 2
+        assert [p.order for p in bank[1:]] == [3, 2, 1]
+        assert all(p.depth == 3 for p in bank[1:])

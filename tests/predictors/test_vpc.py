@@ -1,0 +1,85 @@
+"""Tests of the VPC/TCgen-style baseline compressor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodecError
+from repro.predictors.vpc import DEFAULT_PREDICTOR_SPECS, VpcCodec, vpc_compress, vpc_decompress
+
+
+class TestVpcRoundtrip:
+    def test_roundtrip_sequential(self, sequential_addresses):
+        codec = VpcCodec()
+        payload = codec.compress(sequential_addresses[:5_000])
+        assert np.array_equal(codec.decompress(payload), sequential_addresses[:5_000])
+
+    def test_roundtrip_random(self, random_addresses):
+        codec = VpcCodec()
+        payload = codec.compress(random_addresses[:3_000])
+        assert np.array_equal(codec.decompress(payload), random_addresses[:3_000])
+
+    def test_roundtrip_working_set(self, working_set_addresses):
+        codec = VpcCodec()
+        payload = codec.compress(working_set_addresses[:5_000])
+        assert np.array_equal(codec.decompress(payload), working_set_addresses[:5_000])
+
+    def test_roundtrip_empty(self):
+        codec = VpcCodec()
+        assert codec.decompress(codec.compress([])).size == 0
+
+    def test_one_shot_helpers(self, sequential_addresses):
+        payload = vpc_compress(sequential_addresses[:1_000])
+        assert np.array_equal(vpc_decompress(payload), sequential_addresses[:1_000])
+
+    def test_decoder_honours_stream_predictor_specs(self, sequential_addresses):
+        payload = vpc_compress(sequential_addresses[:1_000], predictor_specs=("LV", "ST"))
+        # Decompressing with a codec built for the default specs must still
+        # work because the stream carries its own specification.
+        assert np.array_equal(VpcCodec().decompress(payload), sequential_addresses[:1_000])
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1), max_size=150))
+    def test_roundtrip_property(self, values):
+        codec = VpcCodec(backend="zlib")
+        array = np.array(values, dtype=np.uint64)
+        assert np.array_equal(codec.decompress(codec.compress(array)), array)
+
+
+class TestVpcCompressionBehaviour:
+    def test_high_prediction_rate_on_strided_trace(self, sequential_addresses):
+        codec = VpcCodec()
+        codec.compress(sequential_addresses[:5_000])
+        assert codec.stats.prediction_rate > 0.95
+
+    def test_low_prediction_rate_on_random_trace(self, random_addresses):
+        codec = VpcCodec()
+        codec.compress(random_addresses[:3_000])
+        assert codec.stats.prediction_rate < 0.2
+
+    def test_regular_trace_compresses_well(self, sequential_addresses):
+        payload = vpc_compress(sequential_addresses[:5_000])
+        bits_per_address = 8 * len(payload) / 5_000
+        assert bits_per_address < 4.0
+
+    def test_default_specs_match_paper(self):
+        assert DEFAULT_PREDICTOR_SPECS == ("DFCM3[2]", "FCM3[3]", "FCM2[3]", "FCM1[3]")
+
+
+class TestVpcErrors:
+    def test_needs_at_least_one_predictor(self):
+        with pytest.raises(CodecError):
+            VpcCodec(predictor_specs=())
+
+    def test_truncated_stream(self):
+        with pytest.raises(CodecError):
+            VpcCodec().decompress(b"nope")
+
+    def test_bad_magic(self, sequential_addresses):
+        payload = bytearray(vpc_compress(sequential_addresses[:100]))
+        payload[:4] = b"ZZZZ"
+        with pytest.raises(CodecError):
+            vpc_decompress(bytes(payload))

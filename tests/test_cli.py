@@ -1,0 +1,121 @@
+"""Tests of the bin2atc / atc2bin / atc-inspect command-line tools."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import atc2bin_main, bin2atc_main, inspect_main
+from repro.traces.trace import read_raw_trace, write_raw_trace
+
+
+@pytest.fixture
+def raw_trace_file(tmp_path, working_set_addresses):
+    path = tmp_path / "trace.bin"
+    write_raw_trace(working_set_addresses, path)
+    return path
+
+
+class TestBin2Atc:
+    def test_lossless_roundtrip_via_files(self, tmp_path, raw_trace_file, working_set_addresses):
+        container = tmp_path / "container"
+        exit_code = bin2atc_main(
+            [
+                str(container),
+                "--lossless",
+                "--input",
+                str(raw_trace_file),
+                "--buffer-addresses",
+                "10000",
+            ]
+        )
+        assert exit_code == 0
+        output = tmp_path / "out.bin"
+        assert atc2bin_main([str(container), "--output", str(output)]) == 0
+        recovered = read_raw_trace(output)
+        assert np.array_equal(recovered.addresses, working_set_addresses)
+
+    def test_lossy_preserves_length(self, tmp_path, raw_trace_file, working_set_addresses):
+        container = tmp_path / "container"
+        exit_code = bin2atc_main(
+            [
+                str(container),
+                "--input",
+                str(raw_trace_file),
+                "--interval-length",
+                "10000",
+                "--buffer-addresses",
+                "10000",
+            ]
+        )
+        assert exit_code == 0
+        output = tmp_path / "out.bin"
+        assert atc2bin_main([str(container), "--output", str(output)]) == 0
+        assert len(read_raw_trace(output)) == working_set_addresses.size
+
+    def test_lossy_stationary_trace_creates_single_chunk(self, tmp_path, raw_trace_file):
+        container = tmp_path / "container"
+        bin2atc_main(
+            [
+                str(container),
+                "--input",
+                str(raw_trace_file),
+                "--interval-length",
+                "10000",
+                "--buffer-addresses",
+                "10000",
+            ]
+        )
+        chunk_files = [p for p in container.iterdir() if p.name[0].isdigit()]
+        assert len(chunk_files) == 1
+
+    def test_alternate_backend(self, tmp_path, raw_trace_file):
+        container = tmp_path / "container"
+        exit_code = bin2atc_main(
+            [
+                str(container),
+                "--lossless",
+                "--backend",
+                "zlib",
+                "--input",
+                str(raw_trace_file),
+                "--buffer-addresses",
+                "10000",
+            ]
+        )
+        assert exit_code == 0
+        assert (container / "INFO.zlib").exists()
+
+    def test_existing_container_rejected(self, tmp_path, raw_trace_file):
+        container = tmp_path / "container"
+        assert bin2atc_main([str(container), "--lossless", "--input", str(raw_trace_file)]) == 0
+        assert bin2atc_main([str(container), "--lossless", "--input", str(raw_trace_file)]) == 1
+
+
+class TestAtc2Bin:
+    def test_missing_container_fails_cleanly(self, tmp_path):
+        assert atc2bin_main([str(tmp_path / "missing")]) == 1
+
+
+class TestInspect:
+    def test_inspect_prints_metadata(self, tmp_path, raw_trace_file, capsys):
+        container = tmp_path / "container"
+        bin2atc_main(
+            [
+                str(container),
+                "--input",
+                str(raw_trace_file),
+                "--interval-length",
+                "10000",
+                "--buffer-addresses",
+                "10000",
+            ]
+        )
+        assert inspect_main([str(container)]) == 0
+        captured = capsys.readouterr().out
+        assert "mode" in captured
+        assert "lossy" in captured
+        assert "bits per address" in captured
+
+    def test_inspect_missing_container(self, tmp_path):
+        assert inspect_main([str(tmp_path / "missing")]) == 1

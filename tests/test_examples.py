@@ -1,0 +1,54 @@
+"""Smoke tests that every example script runs end to end.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Each example is run in-process with a reduced workload size where
+the script supports it, and its output is checked for the headline strings
+a reader would look for.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(monkeypatch, capsys, script: str, argv: list) -> str:
+    monkeypatch.setattr(sys, "argv", [script] + argv)
+    runpy.run_path(str(_EXAMPLES_DIR / script), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys):
+        output = _run_example(monkeypatch, capsys, "quickstart.py", [])
+        assert "bytesort" in output
+        assert "reversible                 : True" in output
+        assert "lossy bits/address" in output
+
+    def test_random_values_demo(self, monkeypatch, capsys):
+        output = _run_example(monkeypatch, capsys, "random_values_demo.py", [])
+        assert "chunks stored       : 1" in output
+        assert "compression ratio" in output
+
+    def test_spec_like_compression_small(self, monkeypatch, capsys):
+        output = _run_example(monkeypatch, capsys, "spec_like_compression.py", ["6000"])
+        assert "Bits per address" in output
+        assert "arith. mean" in output
+
+    def test_prefetcher_fidelity(self, monkeypatch, capsys):
+        output = _run_example(monkeypatch, capsys, "prefetcher_fidelity.py", [])
+        assert "C/DC predictor outcome breakdown" in output
+
+    def test_full_evaluation_writes_report(self, monkeypatch, capsys, tmp_path):
+        report_path = tmp_path / "report.txt"
+        _run_example(monkeypatch, capsys, "full_evaluation.py", [str(report_path)])
+        report = report_path.read_text()
+        assert "Table 1" in report
+        assert "Table 3" in report
+        assert "Reuse-distance fidelity" in report

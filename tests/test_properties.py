@@ -1,0 +1,138 @@
+"""Cross-module property-based tests (hypothesis).
+
+These properties tie several subsystems together and encode the invariants
+the paper's design relies on:
+
+* every lossless path in the library is an exact roundtrip, whatever the
+  input values;
+* the lossy codec always preserves the sequence length and never references
+  a chunk it did not store;
+* byte translations are permutations, so imitation can never merge two
+  distinct addresses of a chunk;
+* the on-disk container decodes to exactly what the in-memory codec
+  produces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.delta import delta_decode, delta_encode
+from repro.baselines.unshuffle import unshuffle_inverse, unshuffle_transform
+from repro.core.bytesort import bytesort_inverse, bytesort_transform
+from repro.core.container import deserialize_interval_trace, serialize_interval_trace
+from repro.core.histograms import IntervalSummary, apply_translation, byte_translation
+from repro.core.lossless import LosslessCodec
+from repro.core.lossy import LossyCodec, LossyConfig
+
+_addresses = st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1), min_size=0, max_size=400)
+_small_addresses = st.lists(
+    st.integers(min_value=0, max_value=(1 << 20) - 1), min_size=1, max_size=400
+)
+
+
+class TestLosslessPathsAreExact:
+    @settings(max_examples=40, deadline=None)
+    @given(_addresses, st.integers(min_value=1, max_value=100))
+    def test_bytesort_then_unshuffle_compose(self, values, buffer_addresses):
+        """Applying both reversible transforms in sequence still roundtrips."""
+        array = np.array(values, dtype=np.uint64)
+        transformed = bytesort_transform(array, buffer_addresses)
+        recovered = bytesort_inverse(transformed, buffer_addresses)
+        assert np.array_equal(recovered, array)
+        unshuffled = unshuffle_transform(array, buffer_addresses)
+        assert np.array_equal(unshuffle_inverse(unshuffled, buffer_addresses), array)
+
+    @settings(max_examples=25, deadline=None)
+    @given(_addresses)
+    def test_full_lossless_codec(self, values):
+        array = np.array(values, dtype=np.uint64)
+        codec = LosslessCodec(buffer_addresses=64, backend="zlib")
+        assert np.array_equal(codec.decompress(codec.compress(array)), array)
+
+    @settings(max_examples=25, deadline=None)
+    @given(_addresses)
+    def test_delta_baseline(self, values):
+        array = np.array(values, dtype=np.uint64)
+        assert np.array_equal(delta_decode(delta_encode(array)), array)
+
+
+class TestLossyInvariants:
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(_small_addresses, st.integers(min_value=10, max_value=200))
+    def test_length_preserved_and_chunks_consistent(self, values, interval_length):
+        array = np.array(values, dtype=np.uint64)
+        config = LossyConfig(interval_length=interval_length, chunk_buffer_addresses=256, backend="zlib")
+        codec = LossyCodec(config)
+        compressed = codec.compress(array)
+        approx = codec.decompress(compressed)
+        assert approx.size == array.size
+        assert compressed.num_chunks <= max(compressed.num_intervals, 1)
+        referenced = {record.chunk_id for record in compressed.records}
+        if referenced:
+            assert max(referenced) < compressed.num_chunks
+        assert sum(record.length for record in compressed.records) == array.size
+
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(_small_addresses, st.integers(min_value=10, max_value=200))
+    def test_first_interval_always_exact(self, values, interval_length):
+        array = np.array(values, dtype=np.uint64)
+        config = LossyConfig(interval_length=interval_length, chunk_buffer_addresses=256, backend="zlib")
+        codec = LossyCodec(config)
+        approx = codec.decompress(codec.compress(array))
+        first = min(interval_length, array.size)
+        assert np.array_equal(approx[:first], array[:first])
+
+    @settings(max_examples=25, deadline=None)
+    @given(_small_addresses, _small_addresses)
+    def test_translation_never_merges_distinct_addresses(self, values_a, values_b):
+        interval_a = np.array(values_a, dtype=np.uint64)
+        interval_b = np.array(values_b, dtype=np.uint64)
+        translations = byte_translation(
+            IntervalSummary.from_addresses(interval_a), IntervalSummary.from_addresses(interval_b)
+        )
+        translated = apply_translation(interval_a, translations)
+        assert np.unique(translated).size == np.unique(interval_a).size
+
+    @settings(max_examples=20, deadline=None)
+    @given(_small_addresses)
+    def test_disabling_translation_still_preserves_length(self, values):
+        array = np.array(values, dtype=np.uint64)
+        config = LossyConfig(
+            interval_length=64, chunk_buffer_addresses=64, backend="zlib", enable_translation=False
+        )
+        codec = LossyCodec(config)
+        assert codec.decompress(codec.compress(array)).size == array.size
+
+
+class TestContainerSerialisation:
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(_small_addresses, st.integers(min_value=16, max_value=128))
+    def test_interval_trace_serialisation_roundtrip(self, values, interval_length):
+        array = np.array(values, dtype=np.uint64)
+        config = LossyConfig(interval_length=interval_length, chunk_buffer_addresses=128, backend="zlib")
+        compressed = LossyCodec(config).compress(array)
+        recovered = deserialize_interval_trace(serialize_interval_trace(compressed.records))
+        assert len(recovered) == len(compressed.records)
+        for original, roundtripped in zip(compressed.records, recovered):
+            assert original.kind == roundtripped.kind
+            assert original.chunk_id == roundtripped.chunk_id
+            assert original.length == roundtripped.length
+            if original.kind == "imitate":
+                assert np.array_equal(original.translations, roundtripped.translations)
+                assert np.array_equal(original.active_bytes, roundtripped.active_bytes)
+
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(values=_small_addresses)
+    def test_container_matches_in_memory_codec(self, tmp_path_factory, values):
+        array = np.array(values, dtype=np.uint64)
+        config = LossyConfig(interval_length=97, chunk_buffer_addresses=128, backend="zlib")
+        from repro.core.atc import MODE_LOSSY, compress_trace
+
+        directory = tmp_path_factory.mktemp("prop") / "container"
+        decoder = compress_trace(array, directory, mode=MODE_LOSSY, config=config)
+        in_memory = LossyCodec(config).decompress(LossyCodec(config).compress(array))
+        assert np.array_equal(decoder.read_all(), in_memory)

@@ -1,0 +1,117 @@
+"""Tests of multi-core trace interleaving and splitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces.multicore import (
+    MAX_CORES,
+    interleave_round_robin,
+    interleave_weighted,
+    merge_traces,
+    split_by_core,
+)
+from repro.traces.trace import AddressTrace
+
+
+class TestRoundRobinInterleave:
+    def test_two_equal_cores_alternate(self):
+        core0 = np.array([1, 2, 3], dtype=np.uint64)
+        core1 = np.array([10, 20, 30], dtype=np.uint64)
+        merged = interleave_round_robin([core0, core1], tag_core_id=False)
+        assert merged.tolist() == [1, 10, 2, 20, 3, 30]
+
+    def test_uneven_lengths_drain_the_longer_core(self):
+        core0 = np.array([1], dtype=np.uint64)
+        core1 = np.array([10, 20, 30], dtype=np.uint64)
+        merged = interleave_round_robin([core0, core1], tag_core_id=False)
+        assert sorted(merged.tolist()) == [1, 10, 20, 30]
+        assert merged.size == 4
+
+    def test_single_core_passthrough(self):
+        core0 = np.arange(10, dtype=np.uint64)
+        merged = interleave_round_robin([core0], tag_core_id=False)
+        assert np.array_equal(merged, core0)
+
+    def test_tagging_and_split_roundtrip(self):
+        core0 = np.arange(0, 50, dtype=np.uint64)
+        core1 = np.arange(100, 180, dtype=np.uint64)
+        core2 = np.arange(200, 230, dtype=np.uint64)
+        merged = interleave_round_robin([core0, core1, core2])
+        recovered = split_by_core(merged, num_cores=3)
+        assert np.array_equal(recovered[0], core0)
+        assert np.array_equal(recovered[1], core1)
+        assert np.array_equal(recovered[2], core2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            interleave_round_robin([])
+        with pytest.raises(ConfigurationError):
+            interleave_round_robin([np.arange(2, dtype=np.uint64)] * (MAX_CORES + 1))
+
+
+class TestWeightedInterleave:
+    def test_weights_control_injection_rate(self):
+        core0 = np.zeros(300, dtype=np.uint64)
+        core1 = np.ones(300, dtype=np.uint64)
+        merged = interleave_weighted([core0, core1], weights=[2.0, 1.0], tag_core_id=False)
+        # In the first 150 slots core 0 (weight 2) should appear about twice
+        # as often as core 1.
+        head = merged[:150]
+        core0_share = float((head == 0).mean())
+        assert 0.55 < core0_share < 0.8
+
+    def test_equal_weights_match_round_robin(self):
+        core0 = np.arange(0, 20, dtype=np.uint64)
+        core1 = np.arange(100, 120, dtype=np.uint64)
+        weighted = interleave_weighted([core0, core1], weights=[1.0, 1.0], tag_core_id=False)
+        round_robin = interleave_round_robin([core0, core1], tag_core_id=False)
+        assert np.array_equal(weighted, round_robin)
+
+    def test_weight_validation(self):
+        core = np.arange(5, dtype=np.uint64)
+        with pytest.raises(ConfigurationError):
+            interleave_weighted([core], weights=[])
+        with pytest.raises(ConfigurationError):
+            interleave_weighted([core], weights=[0.0])
+
+
+class TestSplitByCore:
+    def test_invalid_core_count(self):
+        with pytest.raises(ConfigurationError):
+            split_by_core(np.arange(4, dtype=np.uint64), num_cores=0)
+
+    def test_core_id_out_of_range_detected(self):
+        core0 = np.arange(4, dtype=np.uint64)
+        core1 = np.arange(10, 14, dtype=np.uint64)
+        merged = interleave_round_robin([core0, core1])
+        from repro.errors import TraceFormatError
+
+        with pytest.raises(TraceFormatError):
+            split_by_core(merged, num_cores=1)
+
+
+class TestMergeTraces:
+    def test_merge_returns_named_trace(self):
+        traces = [
+            AddressTrace.from_iterable(range(10), name="core0"),
+            AddressTrace.from_iterable(range(100, 110), name="core1"),
+        ]
+        merged = merge_traces(traces, name="duo")
+        assert merged.name == "duo"
+        assert len(merged) == 20
+
+    def test_merged_trace_compresses_with_atc(self, tmp_path):
+        """A merged multi-core trace is still a plain 64-bit trace for ATC."""
+        from repro.core.lossless import LosslessCodec
+
+        rng = np.random.default_rng(1)
+        cores = [
+            rng.integers(0, 4_096, size=5_000, dtype=np.uint64) + np.uint64((core + 1) << 20)
+            for core in range(4)
+        ]
+        merged = interleave_round_robin(cores)
+        codec = LosslessCodec(buffer_addresses=5_000)
+        assert np.array_equal(codec.decompress(codec.compress(merged)), merged)

@@ -1,0 +1,92 @@
+"""Tests of the 22-entry SPEC-like workload suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces.spec_like import (
+    SPEC_LIKE_NAMES,
+    generate_reference_stream,
+    get_workload,
+    spec_like_suite,
+)
+
+
+class TestSuiteStructure:
+    def test_suite_has_22_workloads_like_table1(self):
+        assert len(SPEC_LIKE_NAMES) == 22
+        assert len(spec_like_suite()) == 22
+
+    def test_names_match_table1(self):
+        expected = {
+            "400.perlbench", "401.bzip2", "403.gcc", "410.bwaves", "429.mcf", "433.milc",
+            "434.zeusmp", "435.gromacs", "444.namd", "445.gobmk", "447.dealII", "450.soplex",
+            "453.povray", "456.hmmer", "458.sjeng", "462.libquantum", "464.h264ref", "470.lbm",
+            "471.omnetpp", "473.astar", "482.sphinx3", "483.xalancbmk",
+        }
+        assert set(SPEC_LIKE_NAMES) == expected
+
+    def test_every_workload_has_description_and_stability(self):
+        for workload in spec_like_suite():
+            assert workload.description
+            assert workload.stability in ("stable", "mixed", "unstable")
+
+    def test_lookup_by_full_name_and_number(self):
+        assert get_workload("429.mcf").name == "429.mcf"
+        assert get_workload("429").name == "429.mcf"
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_workload("999.nothere")
+
+
+class TestWorkloadGeneration:
+    @pytest.mark.parametrize("name", ["410.bwaves", "429.mcf", "403.gcc", "453.povray"])
+    def test_streams_have_requested_data_length(self, name):
+        stream = generate_reference_stream(name, 5_000, seed=0)
+        assert stream.data_addresses.size == 5_000
+        assert stream.name == name
+
+    def test_generation_is_deterministic(self):
+        a = generate_reference_stream("471.omnetpp", 3_000, seed=42)
+        b = generate_reference_stream("471.omnetpp", 3_000, seed=42)
+        assert np.array_equal(a.addresses, b.addresses)
+
+    def test_different_seeds_differ(self):
+        a = generate_reference_stream("458.sjeng", 3_000, seed=1)
+        b = generate_reference_stream("458.sjeng", 3_000, seed=2)
+        assert not np.array_equal(a.addresses, b.addresses)
+
+    def test_streaming_workload_is_regular(self):
+        """410.bwaves-like must be (nearly) pure constant-stride streaming."""
+        stream = generate_reference_stream("410.bwaves", 4_000, seed=0)
+        data = stream.data_addresses.astype(np.int64)
+        deltas = np.diff(data)
+        # Four interleaved streams -> a small set of distinct deltas.
+        assert np.unique(deltas).size <= 8
+
+    def test_pointer_chasing_workload_is_irregular(self):
+        stream = generate_reference_stream("429.mcf", 4_000, seed=0)
+        data = stream.data_addresses.astype(np.int64)
+        deltas = np.diff(data)
+        assert np.unique(deltas).size > 1_000
+
+    def test_povray_has_tiny_footprint(self):
+        stream = generate_reference_stream("453.povray", 10_000, seed=0)
+        blocks = stream.data_addresses >> np.uint64(6)
+        assert np.unique(blocks).size <= 310
+
+    def test_workloads_touch_mostly_distinct_regions(self):
+        """Different workloads must not access the same footprint."""
+        bwaves = set(generate_reference_stream("410.bwaves", 2_000, seed=0).data_addresses.tolist())
+        mcf = set(generate_reference_stream("429.mcf", 2_000, seed=0).data_addresses.tolist())
+        overlap = len(bwaves & mcf) / min(len(bwaves), len(mcf))
+        assert overlap < 0.01
+
+    @pytest.mark.parametrize("name", list(SPEC_LIKE_NAMES))
+    def test_all_workloads_generate(self, name):
+        stream = generate_reference_stream(name, 2_000, seed=3)
+        assert len(stream) >= 2_000
+        assert stream.addresses.dtype == np.dtype("<u8")

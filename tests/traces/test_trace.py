@@ -1,0 +1,159 @@
+"""Tests of the AddressTrace type and raw trace I/O."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceFormatError
+from repro.traces.trace import (
+    ADDRESS_BYTES,
+    AddressTrace,
+    as_address_array,
+    block_address,
+    byte_address,
+    iter_raw_addresses,
+    read_raw_trace,
+    write_raw_trace,
+)
+
+
+class TestAsAddressArray:
+    def test_from_list(self):
+        array = as_address_array([1, 2, 3])
+        assert array.dtype == np.dtype("<u8")
+        assert array.tolist() == [1, 2, 3]
+
+    def test_from_numpy_uint64_is_passthrough(self):
+        values = np.arange(10, dtype=np.uint64)
+        assert as_address_array(values) is values
+
+    def test_from_signed_numpy(self):
+        values = np.arange(10, dtype=np.int64)
+        assert as_address_array(values).dtype == np.dtype("<u8")
+
+    def test_rejects_negative(self):
+        with pytest.raises(TraceFormatError):
+            as_address_array([-1])
+        with pytest.raises(TraceFormatError):
+            as_address_array(np.array([-1, 2], dtype=np.int64))
+
+    def test_rejects_too_large(self):
+        with pytest.raises(TraceFormatError):
+            as_address_array([1 << 64])
+
+    def test_from_generator(self):
+        assert as_address_array(x * 2 for x in range(5)).tolist() == [0, 2, 4, 6, 8]
+
+
+class TestBlockAddressConversion:
+    def test_block_address_default_64_bytes(self):
+        assert block_address([0, 63, 64, 130]).tolist() == [0, 0, 1, 2]
+
+    def test_byte_address_roundtrip(self):
+        blocks = np.array([0, 1, 5, 1000], dtype=np.uint64)
+        assert np.array_equal(block_address(byte_address(blocks)), blocks)
+
+    def test_non_power_of_two_block_rejected(self):
+        with pytest.raises(TraceFormatError):
+            block_address([0], block_bytes=48)
+        with pytest.raises(TraceFormatError):
+            byte_address([0], block_bytes=100)
+
+
+class TestAddressTrace:
+    def test_basic_container_protocol(self):
+        trace = AddressTrace.from_iterable([10, 20, 30], name="t")
+        assert len(trace) == 3
+        assert trace[1] == 20
+        assert list(trace) == [10, 20, 30]
+        assert trace.name == "t"
+
+    def test_slicing_returns_trace(self):
+        trace = AddressTrace.from_iterable(range(10), name="t")
+        sliced = trace[2:5]
+        assert isinstance(sliced, AddressTrace)
+        assert len(sliced) == 3
+        assert sliced.name == "t"
+
+    def test_equality(self):
+        assert AddressTrace.from_iterable([1, 2]) == AddressTrace.from_iterable([1, 2])
+        assert AddressTrace.from_iterable([1, 2]) != AddressTrace.from_iterable([1, 3])
+
+    def test_empty_trace(self):
+        trace = AddressTrace.empty("nothing")
+        assert len(trace) == 0
+        assert trace.distinct_addresses() == 0
+
+    def test_byte_columns_shape_and_values(self):
+        trace = AddressTrace.from_iterable([0x0102030405060708])
+        columns = trace.byte_columns()
+        assert columns.shape == (1, ADDRESS_BYTES)
+        assert columns[0].tolist() == [8, 7, 6, 5, 4, 3, 2, 1]
+
+    def test_intervals_partition_the_trace(self):
+        trace = AddressTrace.from_iterable(range(25))
+        intervals = list(trace.intervals(10))
+        assert [len(i) for i in intervals] == [10, 10, 5]
+        assert np.array_equal(
+            np.concatenate([i.addresses for i in intervals]), trace.addresses
+        )
+
+    def test_intervals_invalid_length(self):
+        with pytest.raises(TraceFormatError):
+            list(AddressTrace.from_iterable([1]).intervals(0))
+
+    def test_distinct_and_footprint(self):
+        trace = AddressTrace.from_iterable([1, 1, 2, 3, 3, 3])
+        assert trace.distinct_addresses() == 3
+        assert trace.footprint_bytes() == 3 * 64
+
+    def test_concat(self):
+        combined = AddressTrace.from_iterable([1, 2]).concat(AddressTrace.from_iterable([3]))
+        assert list(combined) == [1, 2, 3]
+
+
+class TestRawTraceIO:
+    def test_roundtrip_via_path(self, tmp_path, random_addresses):
+        path = tmp_path / "trace.bin"
+        written = write_raw_trace(random_addresses, path)
+        assert written == random_addresses.size * ADDRESS_BYTES
+        recovered = read_raw_trace(path, name="raw")
+        assert np.array_equal(recovered.addresses, random_addresses)
+        assert recovered.name == "raw"
+
+    def test_roundtrip_via_file_object(self, sequential_addresses):
+        buffer = io.BytesIO()
+        write_raw_trace(AddressTrace(sequential_addresses), buffer)
+        buffer.seek(0)
+        assert np.array_equal(read_raw_trace(buffer).addresses, sequential_addresses)
+
+    def test_read_rejects_partial_record(self, tmp_path):
+        path = tmp_path / "broken.bin"
+        path.write_bytes(b"\x00" * 12)
+        with pytest.raises(TraceFormatError):
+            read_raw_trace(path)
+
+    def test_iter_raw_addresses_streams_values(self, tmp_path):
+        path = tmp_path / "trace.bin"
+        values = np.arange(1000, dtype=np.uint64)
+        write_raw_trace(values, path)
+        assert list(iter_raw_addresses(path, chunk_addresses=64)) == values.tolist()
+
+    def test_iter_raw_addresses_rejects_partial_tail(self, tmp_path):
+        path = tmp_path / "trace.bin"
+        path.write_bytes(b"\x01" * 20)
+        with pytest.raises(TraceFormatError):
+            list(iter_raw_addresses(path))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1), max_size=200))
+    def test_roundtrip_property(self, values):
+        buffer = io.BytesIO()
+        write_raw_trace(values, buffer)
+        buffer.seek(0)
+        assert read_raw_trace(buffer).addresses.tolist() == values
