@@ -11,7 +11,6 @@ trade speed for modest extra density.
 
 from __future__ import annotations
 
-import time
 from typing import Dict
 
 from benchmarks.conftest import SMALL_BUFFER

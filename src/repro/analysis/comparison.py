@@ -11,12 +11,12 @@ These helpers bundle the repeated experimental pattern of Section 5.3:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.metrics import distinct_address_ratio, sequence_length_preserved
-from repro.cache.sweep import DEFAULT_ASSOCIATIVITIES, MissRatioSurface, miss_ratio_sweep
+from repro.cache.sweep import MissRatioSurface, miss_ratio_sweep
 from repro.core.lossy import LossyCodec, LossyConfig
 from repro.predictors.cdc import CdcConfig, PredictionBreakdown, simulate_cdc
 from repro.traces.trace import AddressTrace, as_address_array

@@ -11,14 +11,13 @@ assertions, the harness is the convenience layer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
 from repro.analysis.comparison import LossyFidelityResult, compare_cdc_breakdowns, compare_miss_ratio_surfaces
 from repro.analysis.metrics import arithmetic_mean, bits_per_address
-from repro.analysis.reporting import render_breakdown_table, render_series, render_table
+from repro.analysis.reporting import render_table
 from repro.baselines.generic import raw_bits_per_address
 from repro.baselines.unshuffle import unshuffled_bits_per_address
 from repro.core.lossless import lossless_bits_per_address

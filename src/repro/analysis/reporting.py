@@ -8,7 +8,7 @@ dependency is required or available offline.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import Mapping, Sequence
 
 from repro.analysis.metrics import arithmetic_mean
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.backend import get_backend
-from repro.traces.trace import ADDRESS_BYTES, as_address_array
+from repro.traces.trace import as_address_array
 
 __all__ = ["compress_raw", "decompress_raw", "raw_bits_per_address"]
 

@@ -16,12 +16,25 @@ ablation benches can vary the policy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+
+
+def _as_block_array(blocks) -> np.ndarray:
+    """Convert a block-address iterable to a ``uint64`` array.
+
+    Deferred import: ``repro.traces`` imports this module (via the cache
+    filter), so importing ``as_address_array`` at module level would be
+    circular.
+    """
+    from repro.traces.trace import as_address_array
+
+    return as_address_array(blocks)
 
 __all__ = ["CacheConfig", "CacheStats", "SetAssociativeCache"]
 
@@ -205,8 +218,7 @@ class SetAssociativeCache:
 
     def access_trace(self, blocks: Iterable[int]) -> CacheStats:
         """Access every block address in ``blocks`` and return the stats."""
-        for block in blocks:
-            self.access_block(int(block))
+        self.access_batch(blocks)
         return self.stats
 
     def miss_stream(self, blocks: Iterable[int]) -> np.ndarray:
@@ -215,11 +227,157 @@ class SetAssociativeCache:
         This is the "cache filter" operation: the output is exactly the
         cache-filtered trace the paper's compressor consumes.
         """
-        misses: List[int] = []
-        for block in blocks:
-            if not self.access_block(int(block)):
-                misses.append(int(block))
-        return np.array(misses, dtype=np.uint64)
+        array = _as_block_array(blocks)
+        hits = self.access_batch(array)
+        return array[~hits]
+
+    # -- batch access ----------------------------------------------------------------
+    def access_batch(self, blocks: Iterable[int]) -> np.ndarray:
+        """Access many block addresses at once; returns the boolean hit mask.
+
+        Semantically identical to calling :meth:`access_block` on every
+        element in order — counters, resident blocks and replacement stamps
+        end up exactly the same — but accesses are grouped by cache set, so
+        the simulation runs on arrays instead of one Python-level cache
+        probe per reference:
+
+        * direct-mapped caches take a fully vectorised NumPy path (a hit is
+          an access equal to the previous access of the same set);
+        * LRU and FIFO set-associative caches replay each set's subsequence
+          against an :class:`~collections.OrderedDict`, making eviction
+          O(1) instead of the generic path's O(ways) ``min`` scan;
+        * RANDOM replacement (whose RNG draws depend on global access
+          order) and caches holding dirty blocks (whose evictions must
+          count write-backs) fall back to the exact serial loop.
+        """
+        array = _as_block_array(blocks)
+        count = int(array.size)
+        if count == 0:
+            return np.zeros(0, dtype=bool)
+        if self.config.policy == "random" or any(self._dirty):
+            # Exact serial fallback; convert to Python ints in bounded
+            # slices so a huge batch does not materialise one giant list.
+            hits = np.empty(count, dtype=bool)
+            access_block = self.access_block
+            for start in range(0, count, 65536):
+                chunk = array[start : start + 65536].tolist()
+                for offset, block in enumerate(chunk):
+                    hits[start + offset] = access_block(block)
+            return hits
+        if self.config.associativity == 1:
+            return self._access_batch_direct(array)
+        return self._access_batch_grouped(array)
+
+    def _access_batch_direct(self, array: np.ndarray) -> np.ndarray:
+        """Vectorised batch access for direct-mapped caches.
+
+        With one way per set the resident block is simply the last block
+        accessed in that set, so after a stable sort by set index a hit is
+        "equal to the previous access of the same set" — no per-access
+        Python at all.  Only the per-set boundary work (seeding the first
+        access of each touched set with the resident block, and writing the
+        final state back) runs in a Python loop over *touched sets*.
+        """
+        count = int(array.size)
+        set_index = (array & np.uint64(self._set_mask)).astype(np.int64)
+        order = np.argsort(set_index, kind="stable")
+        sorted_sets = set_index[order]
+        sorted_blocks = array[order]
+        same_set = np.zeros(count, dtype=bool)
+        same_set[1:] = sorted_sets[1:] == sorted_sets[:-1]
+        hits_sorted = np.zeros(count, dtype=bool)
+        hits_sorted[1:] = same_set[1:] & (sorted_blocks[1:] == sorted_blocks[:-1])
+        group_starts = np.flatnonzero(~same_set)
+        group_bounds = np.append(group_starts, count)
+        clock_start = self._clock
+        is_lru = self.config.policy == "lru"
+        newly_filled = 0
+        for group in range(group_starts.size):
+            start = int(group_starts[group])
+            end = int(group_bounds[group + 1])
+            cache_set = self._sets[int(sorted_sets[start])]
+            if cache_set:
+                (resident,) = cache_set
+                hits_sorted[start] = int(sorted_blocks[start]) == resident
+            else:
+                newly_filled += 1
+            final_block = int(sorted_blocks[end - 1])
+            if is_lru:
+                # LRU stamp = clock at the last touch of the set.
+                stamp_position = int(order[end - 1])
+            else:
+                # FIFO stamp = clock at the last fill (miss) of the set.
+                group_misses = np.flatnonzero(~hits_sorted[start:end])
+                if group_misses.size == 0:
+                    continue  # all hits: resident block and stamp unchanged
+                stamp_position = int(order[start + int(group_misses[-1])])
+            cache_set.clear()
+            cache_set[final_block] = clock_start + stamp_position + 1
+        hit_count = int(np.count_nonzero(hits_sorted))
+        miss_count = count - hit_count
+        self.stats.accesses += count
+        self.stats.hits += hit_count
+        self.stats.misses += miss_count
+        self.stats.evictions += miss_count - newly_filled
+        self._clock += count
+        hits = np.empty(count, dtype=bool)
+        hits[order] = hits_sorted
+        return hits
+
+    def _access_batch_grouped(self, array: np.ndarray) -> np.ndarray:
+        """Grouped batch access for LRU/FIFO set-associative caches.
+
+        Accesses to different sets never interact, so the batch is sorted
+        by set index (stable, preserving per-set order) and each set's
+        subsequence is replayed against an OrderedDict kept in recency
+        (LRU) or fill (FIFO) order; the victim is always the first entry.
+        Stamps are reconstructed from each access's global position, which
+        makes the final state bit-identical to the serial loop.
+        """
+        count = int(array.size)
+        set_index = (array & np.uint64(self._set_mask)).astype(np.int64)
+        order = np.argsort(set_index, kind="stable")
+        sorted_sets = set_index[order]
+        group_starts = np.flatnonzero(
+            np.concatenate(([True], sorted_sets[1:] != sorted_sets[:-1]))
+        )
+        group_bounds = np.append(group_starts, count)
+        clock_start = self._clock
+        ways = self.config.associativity
+        is_lru = self.config.policy == "lru"
+        hits = np.empty(count, dtype=bool)
+        hit_count = 0
+        eviction_count = 0
+        for group in range(group_starts.size):
+            start = int(group_starts[group])
+            end = int(group_bounds[group + 1])
+            cache_set = self._sets[int(sorted_sets[start])]
+            # Existing stamps are unique clock values, so sorting by stamp
+            # recovers the recency/fill order the serial loop maintains.
+            entries = OrderedDict(sorted(cache_set.items(), key=lambda item: item[1]))
+            group_blocks = array[order[start:end]].tolist()
+            group_positions = order[start:end].tolist()
+            for block, position in zip(group_blocks, group_positions):
+                if block in entries:
+                    hits[position] = True
+                    hit_count += 1
+                    if is_lru:
+                        entries[block] = clock_start + position + 1
+                        entries.move_to_end(block)
+                else:
+                    hits[position] = False
+                    if len(entries) >= ways:
+                        entries.popitem(last=False)
+                        eviction_count += 1
+                    entries[block] = clock_start + position + 1
+            cache_set.clear()
+            cache_set.update(entries)
+        self.stats.accesses += count
+        self.stats.hits += hit_count
+        self.stats.misses += count - hit_count
+        self.stats.evictions += eviction_count
+        self._clock += count
+        return hits
 
     # -- internals ------------------------------------------------------------------
     def _evict(self, cache_set: dict) -> int:

@@ -29,7 +29,7 @@ from repro.core.lossy import LossyConfig
 from repro.errors import ReproError
 from repro.traces.trace import ADDRESS_BYTES
 
-__all__ = ["bin2atc_main", "atc2bin_main", "inspect_main"]
+__all__ = ["bin2atc_main", "atc2bin_main", "inspect_main", "main"]
 
 _READ_CHUNK_ADDRESSES = 65536
 
@@ -73,6 +73,14 @@ def _build_bin2atc_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable byte translation when imitating intervals (Figure 4 ablation)",
     )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="compress up to N chunks concurrently (0 = one per CPU; default: 1, serial; "
+        "output is byte-identical for any value)",
+    )
     parser.add_argument("--input", default=None, help="read raw trace from this file instead of stdin")
     return parser
 
@@ -80,15 +88,24 @@ def _build_bin2atc_parser() -> argparse.ArgumentParser:
 def bin2atc_main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``bin2atc`` console script."""
     args = _build_bin2atc_parser().parse_args(argv)
-    config = LossyConfig(
-        interval_length=args.interval_length,
-        threshold=args.threshold,
-        chunk_buffer_addresses=args.buffer_addresses,
-        backend=args.backend,
-        enable_translation=not args.no_translation,
-    )
+    try:
+        config = LossyConfig(
+            interval_length=args.interval_length,
+            threshold=args.threshold,
+            chunk_buffer_addresses=args.buffer_addresses,
+            backend=args.backend,
+            enable_translation=not args.no_translation,
+            workers=args.jobs,
+        )
+    except ReproError as error:
+        print(f"bin2atc: error: {error}", file=sys.stderr)
+        return 1
     mode = MODE_LOSSLESS if args.lossless else MODE_LOSSY
-    stream = open(args.input, "rb") if args.input else sys.stdin.buffer
+    try:
+        stream = open(args.input, "rb") if args.input else sys.stdin.buffer
+    except OSError as error:
+        print(f"bin2atc: error: cannot open input: {error}", file=sys.stderr)
+        return 1
     try:
         with AtcEncoder(args.directory, mode=mode, config=config) as encoder:
             while True:
@@ -118,6 +135,13 @@ def _build_atc2bin_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("directory", help="container directory to read")
     parser.add_argument("--output", default=None, help="write to this file instead of stdout")
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="prefetch and decompress up to N chunks concurrently (0 = one per CPU; default: 1)",
+    )
     return parser
 
 
@@ -125,11 +149,15 @@ def atc2bin_main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``atc2bin`` console script."""
     args = _build_atc2bin_parser().parse_args(argv)
     try:
-        decoder = AtcDecoder(args.directory)
+        decoder = AtcDecoder(args.directory, workers=args.jobs)
     except ReproError as error:
         print(f"atc2bin: error: {error}", file=sys.stderr)
         return 1
-    sink = open(args.output, "wb") if args.output else sys.stdout.buffer
+    try:
+        sink = open(args.output, "wb") if args.output else sys.stdout.buffer
+    except OSError as error:
+        print(f"atc2bin: error: cannot open output: {error}", file=sys.stderr)
+        return 1
     try:
         for interval in decoder.iter_intervals():
             sink.write(interval.astype("<u8", copy=False).tobytes())
@@ -166,3 +194,43 @@ def inspect_main(argv: Optional[List[str]] = None) -> int:
     print(f"on-disk bytes    : {decoder.compressed_bytes()}")
     print(f"bits per address : {decoder.bits_per_address():.3f}")
     return 0
+
+
+#: ``repro`` subcommands and the per-tool mains they delegate to.
+_SUBCOMMANDS = {
+    "compress": bin2atc_main,
+    "decompress": atc2bin_main,
+    "inspect": inspect_main,
+}
+
+
+def _print_repro_usage(stream) -> None:
+    print("usage: repro {compress|decompress|inspect} [options]", file=stream)
+    print("", file=stream)
+    print("subcommands:", file=stream)
+    print("  compress    raw 64-bit value stream -> ATC container (bin2atc)", file=stream)
+    print("  decompress  ATC container -> raw 64-bit value stream (atc2bin)", file=stream)
+    print("  inspect     print container metadata and sizes (atc-inspect)", file=stream)
+    print("", file=stream)
+    print("run 'repro <subcommand> --help' for the subcommand's options", file=stream)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the umbrella ``repro`` console script.
+
+    Dispatches ``repro compress`` / ``repro decompress`` / ``repro inspect``
+    to the corresponding tool main, so a single installed script exposes the
+    whole pipeline (including the ``--jobs`` parallelism knob of the
+    compression subcommands).
+    """
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        _print_repro_usage(sys.stdout if argv else sys.stderr)
+        return 0 if argv else 2
+    command, rest = argv[0], argv[1:]
+    handler = _SUBCOMMANDS.get(command)
+    if handler is None:
+        print(f"repro: error: unknown subcommand {command!r}", file=sys.stderr)
+        _print_repro_usage(sys.stderr)
+        return 2
+    return handler(rest)

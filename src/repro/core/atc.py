@@ -25,16 +25,16 @@ so a lossless container is simply a lossy container that never imitates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import OrderedDict
 from typing import Iterator, List, Optional, Union
 
 import numpy as np
 
 from repro.core.container import AtcContainer
-from repro.core.histograms import apply_translation
-from repro.core.intervals import IntervalRecord
+from repro.core.intervals import IntervalRecord, materialize_interval
 from repro.core.lossless import LosslessCodec
 from repro.core.lossy import LossyConfig, LossyIntervalEncoder
+from repro.core.parallel import OrderedChunkWriter, map_ordered, resolve_workers
 from repro.errors import CodecError, ConfigurationError
 from repro.traces.trace import AddressTrace, as_address_array
 
@@ -82,18 +82,29 @@ class AtcEncoder:
             directory, backend=self.config.backend, suffix=suffix, create=True
         )
         self._records: List[IntervalRecord] = []
-        self._buffer: List[int] = []
         self._total = 0
         self._closed = False
         if mode == MODE_LOSSY:
             self._interval_encoder = LossyIntervalEncoder(self.config)
             self._flush_threshold = self.config.interval_length
+            self._chunk_codec = self._interval_encoder.chunk_codec
         else:
             self._interval_encoder = None
-            self._lossless_codec = LosslessCodec(
+            self._chunk_codec = LosslessCodec(
                 buffer_addresses=self.config.chunk_buffer_addresses, backend=self.config.backend
             )
             self._flush_threshold = self.config.chunk_buffer_addresses
+        # Preallocated interval buffer: values fed one at a time accumulate
+        # here, and every interval is encoded from a zero-copy view (of this
+        # buffer, or of the caller's array in :meth:`code_many`).
+        self._buffer = np.empty(self._flush_threshold, dtype=np.uint64)
+        self._buffered = 0
+        # Ordered parallel chunk pipeline: with config.workers > 1, chunk
+        # payloads are compressed on a thread pool and written back to the
+        # container in submission order; with 1 worker it runs inline.
+        self._pipeline = OrderedChunkWriter(
+            self.container.write_chunk, workers=self.config.workers
+        )
 
     # -- context manager ------------------------------------------------------------------
     def __enter__(self) -> "AtcEncoder":
@@ -102,52 +113,90 @@ class AtcEncoder:
     def __exit__(self, exc_type, exc, traceback) -> None:
         if exc_type is None:
             self.close()
+        else:
+            # Mark the encoder closed before dropping in-flight chunks: a
+            # later close() must not write an INFO stream that references
+            # chunk files the cancel threw away.
+            self._closed = True
+            self._pipeline.cancel()
 
     # -- encoding --------------------------------------------------------------------------
     def code(self, value: int) -> None:
         """Feed one 64-bit value (the paper's ``atc_code``)."""
         if self._closed:
             raise CodecError("cannot code values after the encoder was closed")
-        self._buffer.append(int(value))
+        self._buffer[self._buffered] = value
+        self._buffered += 1
         self._total += 1
-        if len(self._buffer) >= self._flush_threshold:
+        if self._buffered >= self._flush_threshold:
             self._flush_buffer()
 
     def code_many(self, values) -> None:
-        """Feed many values at once (bulk variant of :meth:`code`)."""
+        """Feed many values at once (bulk variant of :meth:`code`).
+
+        Full intervals are encoded directly from views of the input array
+        (no per-interval copies); only the partial head and tail go through
+        the preallocated interval buffer.
+        """
         if self._closed:
             raise CodecError("cannot code values after the encoder was closed")
         array = as_address_array(values)
-        self._total += int(array.size)
-        pending = self._buffer
-        pending.extend(array.tolist())
-        while len(pending) >= self._flush_threshold:
-            self._buffer = pending[: self._flush_threshold]
-            self._flush_buffer()
-            pending = pending[self._flush_threshold :]
-        self._buffer = pending
+        size = int(array.size)
+        self._total += size
+        threshold = self._flush_threshold
+        offset = 0
+        if self._buffered:
+            # Top up the partially filled buffer first.
+            take = min(threshold - self._buffered, size)
+            self._buffer[self._buffered : self._buffered + take] = array[:take]
+            self._buffered += take
+            offset = take
+            if self._buffered >= threshold:
+                self._flush_buffer()
+        while size - offset >= threshold:
+            self._encode_interval(array[offset : offset + threshold])
+            offset += threshold
+        tail = size - offset
+        if tail:
+            self._buffer[:tail] = array[offset:]
+            self._buffered = tail
 
     def _flush_buffer(self) -> None:
-        if not self._buffer:
+        if not self._buffered:
             return
-        interval = np.array(self._buffer, dtype=np.uint64)
-        self._buffer = []
+        interval = self._buffer[: self._buffered]
+        self._encode_interval(interval)
+        self._buffered = 0
+
+    def _encode_interval(self, interval: np.ndarray) -> None:
+        """Classify one interval and queue its chunk payload, if any.
+
+        ``interval`` may be a view of the reusable buffer or of caller
+        memory; when compression is deferred to the thread pool the interval
+        is copied first, so the view can be reused immediately.
+        """
         if self.mode == MODE_LOSSY:
-            record, payload = self._interval_encoder.encode_interval(interval)
-            if payload is not None:
-                self.container.write_chunk(record.chunk_id, payload)
+            record, needs_payload = self._interval_encoder.plan_interval(interval)
+            self._records.append(record)
+            if not needs_payload:
+                return
+            chunk_id = record.chunk_id
         else:
             chunk_id = len(self._records)
-            payload = self._lossless_codec.compress(interval)
-            self.container.write_chunk(chunk_id, payload)
-            record = IntervalRecord(kind="chunk", chunk_id=chunk_id, length=int(interval.size))
-        self._records.append(record)
+            self._records.append(
+                IntervalRecord(kind="chunk", chunk_id=chunk_id, length=int(interval.size))
+            )
+        if self._pipeline.workers > 1:
+            interval = np.array(interval, dtype=np.uint64, copy=True)
+        codec = self._chunk_codec
+        self._pipeline.submit(chunk_id, lambda data=interval: codec.compress(data))
 
     def close(self) -> None:
-        """Flush the pending interval and write the INFO stream."""
+        """Flush the pending interval, drain the pipeline, write INFO."""
         if self._closed:
             return
         self._flush_buffer()
+        self._pipeline.close()
         metadata = {
             "format": "atc",
             "format_version": 1,
@@ -171,9 +220,34 @@ class AtcEncoder:
 
 
 class AtcDecoder:
-    """Decoder for ATC container directories (lossy or lossless)."""
+    """Decoder for ATC container directories (lossy or lossless).
 
-    def __init__(self, directory, backend: Optional[str] = None, suffix: Optional[str] = None) -> None:
+    Args:
+        directory: Container directory to read.
+        backend: Byte-level back-end override (detected from the container
+            when omitted).
+        suffix: Chunk-file suffix override (detected when omitted).
+        workers: Number of chunks prefetched (read + decompressed)
+            concurrently while iterating; ``1`` is fully serial, ``0``/
+            ``None`` means one worker per CPU.  The decoded output never
+            depends on the worker count.
+        cache_chunks: Capacity of the decoded-chunk LRU cache.  Lossy
+            containers reference the same chunk from many imitation
+            records, so a small bounded cache replaces re-decoding without
+            the unbounded memory growth a plain dict would have.
+    """
+
+    #: Default capacity of the decoded-chunk LRU cache.
+    DEFAULT_CACHE_CHUNKS = 16
+
+    def __init__(
+        self,
+        directory,
+        backend: Optional[str] = None,
+        suffix: Optional[str] = None,
+        workers: int = 1,
+        cache_chunks: int = DEFAULT_CACHE_CHUNKS,
+    ) -> None:
         # The chunk-file suffix names the back-end on disk (INFO.bz2,
         # INFO.zlib, ...), so an unspecified back-end is detected from it.
         detected_suffix = AtcContainer.detect_suffix(directory) if suffix is None else suffix
@@ -192,28 +266,86 @@ class AtcDecoder:
             buffer_addresses=int(metadata.get("chunk_buffer_addresses", 1_000_000)),
             backend=self.container.backend,
         )
-        self._chunk_cache = {}
+        self._workers = resolve_workers(workers)
+        if cache_chunks < 1:
+            raise ConfigurationError("cache_chunks must be >= 1")
+        # The prefetch lookahead must fit in the cache, or a prefetched
+        # chunk could be evicted before its interval is reached.
+        self._lookahead = 2 * self._workers
+        self._cache_capacity = max(int(cache_chunks), self._lookahead)
+        self._chunk_cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
 
     # -- decoding ---------------------------------------------------------------------------
+    def _load_chunk(self, chunk_id: int) -> np.ndarray:
+        """Read and decompress one chunk (pure; safe to call off-thread)."""
+        return self._chunk_codec.decompress(self.container.read_chunk(chunk_id))
+
+    def _store_chunk(self, chunk_id: int, decoded: np.ndarray) -> None:
+        cache = self._chunk_cache
+        cache[chunk_id] = decoded
+        cache.move_to_end(chunk_id)
+        while len(cache) > self._cache_capacity:
+            cache.popitem(last=False)
+
     def _chunk_addresses(self, chunk_id: int) -> np.ndarray:
-        if chunk_id not in self._chunk_cache:
-            payload = self.container.read_chunk(chunk_id)
-            self._chunk_cache[chunk_id] = self._chunk_codec.decompress(payload)
-        return self._chunk_cache[chunk_id]
+        cache = self._chunk_cache
+        if chunk_id in cache:
+            cache.move_to_end(chunk_id)
+            return cache[chunk_id]
+        decoded = self._load_chunk(chunk_id)
+        self._store_chunk(chunk_id, decoded)
+        return decoded
+
+    def _interval_piece(self, record: IntervalRecord, source: np.ndarray) -> np.ndarray:
+        return materialize_interval(record, source)
 
     def iter_intervals(self) -> Iterator[np.ndarray]:
-        """Yield the decoded address array of every interval, in order."""
+        """Yield the decoded address array of every interval, in order.
+
+        With ``workers > 1`` the chunks of upcoming intervals are
+        prefetched (read and decompressed) on a thread pool while earlier
+        intervals are being consumed; the yielded sequence is identical to
+        the serial one.
+        """
+        if self._workers > 1 and len(self.records) > 1:
+            yield from self._iter_intervals_prefetch()
+            return
         for record in self.records:
-            source = self._chunk_addresses(record.chunk_id)
-            if record.length > source.size:
-                raise CodecError(
-                    f"interval of length {record.length} references a chunk with only "
-                    f"{source.size} addresses"
-                )
-            piece = source[: record.length]
-            if record.kind == "imitate":
-                piece = apply_translation(piece, record.translations, record.active_bytes)
-            yield piece
+            yield self._interval_piece(record, self._chunk_addresses(record.chunk_id))
+
+    def _iter_intervals_prefetch(self) -> Iterator[np.ndarray]:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=self._workers) as pool:
+            futures = {}
+            try:
+                for index, record in enumerate(self.records):
+                    for upcoming in self.records[index : index + self._lookahead]:
+                        chunk_id = upcoming.chunk_id
+                        if chunk_id not in futures and chunk_id not in self._chunk_cache:
+                            futures[chunk_id] = pool.submit(self._load_chunk, chunk_id)
+                    future = futures.pop(record.chunk_id, None)
+                    if future is not None:
+                        self._store_chunk(record.chunk_id, future.result())
+                    yield self._interval_piece(record, self._chunk_addresses(record.chunk_id))
+            finally:
+                for future in futures.values():
+                    future.cancel()
+
+    def _read_all_pieces(self) -> List[np.ndarray]:
+        """Bulk decode path: load (read + decompress) every referenced chunk
+        exactly once, pipelined per chunk on the thread pool when
+        ``workers > 1``, then replay the interval trace against the decoded
+        chunks."""
+        needed = list(dict.fromkeys(record.chunk_id for record in self.records))
+        decoded = {
+            chunk_id: self._chunk_cache[chunk_id]
+            for chunk_id in needed
+            if chunk_id in self._chunk_cache
+        }
+        missing = [chunk_id for chunk_id in needed if chunk_id not in decoded]
+        decoded.update(zip(missing, map_ordered(self._load_chunk, missing, workers=self._workers)))
+        return [self._interval_piece(record, decoded[record.chunk_id]) for record in self.records]
 
     def __iter__(self) -> Iterator[int]:
         """Iterate over individual decoded values (the paper's ``atc_decode`` loop)."""
@@ -222,8 +354,16 @@ class AtcDecoder:
                 yield value
 
     def read_all(self) -> np.ndarray:
-        """Decode the whole container into one address array."""
-        intervals = list(self.iter_intervals())
+        """Decode the whole container into one address array.
+
+        Every referenced chunk is loaded exactly once (in parallel with
+        ``workers > 1``), bypassing the bounded LRU cache: ``read_all``
+        materialises the whole trace anyway, so holding each decoded chunk
+        for the duration of the call costs no extra asymptotic memory and
+        avoids re-decoding when a container references more chunks than the
+        cache holds.
+        """
+        intervals = self._read_all_pieces() if len(self.records) > 1 else list(self.iter_intervals())
         if not intervals:
             return np.empty(0, dtype=np.uint64)
         result = np.concatenate(intervals)
@@ -257,6 +397,7 @@ def atc_open(
     mode: str,
     config: Optional[LossyConfig] = None,
     suffix: Optional[str] = None,
+    workers: int = 1,
 ) -> Union[AtcEncoder, AtcDecoder]:
     """Open an ATC container, mirroring the paper's ``atc_open`` entry point.
 
@@ -264,11 +405,13 @@ def atc_open(
         directory: Container directory.
         mode: ``"k"`` (lossy compression), ``"c"`` (lossless compression) or
             ``"d"`` (decompression).
-        config: Codec configuration for the compression modes.
+        config: Codec configuration for the compression modes (its
+            ``workers`` field controls encoder parallelism).
         suffix: Chunk file suffix override.
+        workers: Chunk-prefetch parallelism for decode mode.
     """
     if mode == MODE_DECODE:
-        return AtcDecoder(directory, suffix=suffix)
+        return AtcDecoder(directory, suffix=suffix, workers=workers)
     if mode in (MODE_LOSSY, MODE_LOSSLESS):
         return AtcEncoder(directory, mode=mode, config=config, suffix=suffix)
     raise ConfigurationError(f"atc_open mode must be 'k', 'c' or 'd', got {mode!r}")
@@ -287,11 +430,12 @@ def compress_trace(
     harness needs after each compression run.
     """
     values = addresses.addresses if isinstance(addresses, AddressTrace) else as_address_array(addresses)
+    config = config if config is not None else LossyConfig()
     with AtcEncoder(directory, mode=mode, config=config) as encoder:
         encoder.code_many(values)
-    return AtcDecoder(directory)
+    return AtcDecoder(directory, workers=config.workers)
 
 
-def decompress_trace(directory) -> np.ndarray:
+def decompress_trace(directory, workers: int = 1) -> np.ndarray:
     """Decode an ATC container directory into an address array."""
-    return AtcDecoder(directory).read_all()
+    return AtcDecoder(directory, workers=workers).read_all()

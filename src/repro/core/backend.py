@@ -23,7 +23,7 @@ import bz2
 import lzma
 import zlib
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Callable, Dict, Iterable
 
 from repro.errors import ConfigurationError
 
@@ -31,7 +31,9 @@ __all__ = [
     "CompressionBackend",
     "get_backend",
     "available_backends",
+    "backend_aliases",
     "register_backend",
+    "register_alias",
 ]
 
 
@@ -65,37 +67,75 @@ def _store_decompress(data: bytes) -> bytes:
 
 
 _BACKENDS: Dict[str, CompressionBackend] = {}
+_ALIASES: Dict[str, str] = {}
 
 
-def register_backend(backend: CompressionBackend) -> None:
+def register_backend(backend: CompressionBackend, aliases: Iterable[str] = ()) -> None:
     """Register ``backend`` so :func:`get_backend` can find it by name.
 
     Registering a name twice replaces the previous back-end; this lets test
-    code substitute instrumented back-ends.
+    code substitute instrumented back-ends.  ``aliases`` registers extra
+    lookup names resolving to the same back-end object (no duplicate
+    compress/decompress functions).
     """
+    # A real back-end takes over its name: registering under a name that
+    # currently is an alias (e.g. an instrumented "gz") drops the alias, so
+    # substitution keeps working like it did when gz/xz were full back-ends.
+    _ALIASES.pop(backend.name, None)
     _BACKENDS[backend.name] = backend
+    for alias in aliases:
+        register_alias(alias, backend.name)
+
+
+def register_alias(alias: str, target: str) -> None:
+    """Make ``alias`` resolve to the back-end registered as ``target``.
+
+    Aliases are resolved at lookup time, so replacing the target back-end
+    later also redirects its aliases.  An alias may not shadow a registered
+    back-end name.
+    """
+    if target not in _BACKENDS:
+        raise ConfigurationError(f"cannot alias {alias!r} to unknown backend {target!r}")
+    if alias in _BACKENDS:
+        raise ConfigurationError(f"alias {alias!r} collides with a registered backend name")
+    _ALIASES[alias] = target
 
 
 def available_backends() -> tuple:
-    """Return the sorted tuple of registered back-end names."""
-    return tuple(sorted(_BACKENDS))
+    """Return the sorted tuple of all accepted back-end names.
+
+    Aliases are included (they are valid configuration values), so the
+    output is a deterministic, sorted union of canonical names and aliases.
+    """
+    return tuple(sorted(set(_BACKENDS) | set(_ALIASES)))
+
+
+def backend_aliases() -> Dict[str, str]:
+    """Return the ``{alias: canonical_name}`` mapping, sorted by alias."""
+    return dict(sorted(_ALIASES.items()))
 
 
 def get_backend(name_or_backend) -> CompressionBackend:
-    """Resolve a back-end from a name or pass an instance through.
+    """Resolve a back-end from a name, an alias, or pass an instance through.
 
     Args:
         name_or_backend: Either a registered back-end name (``"bz2"``,
-            ``"gz"``/``"zlib"``, ``"xz"``/``"lzma"``, ``"store"``) or an
-            already constructed :class:`CompressionBackend`.
+            ``"zlib"``, ``"lzma"``, ``"store"``), an alias (``"gz"`` for
+            zlib, ``"xz"`` for lzma) or an already constructed
+            :class:`CompressionBackend`.
 
     Raises:
         ConfigurationError: If the name is unknown.
     """
     if isinstance(name_or_backend, CompressionBackend):
         return name_or_backend
+    # Registered names win over aliases, so a back-end registered under a
+    # (former) alias name is found, not shadowed.
+    backend = _BACKENDS.get(name_or_backend)
+    if backend is not None:
+        return backend
     try:
-        return _BACKENDS[name_or_backend]
+        return _BACKENDS[_ALIASES[name_or_backend]]
     except KeyError:
         known = ", ".join(available_backends())
         raise ConfigurationError(
@@ -110,34 +150,22 @@ register_backend(
         decompress=bz2.decompress,
     )
 )
+# "gz" accepts the paper's gzip-style name; "xz" the modern lzma name.
 register_backend(
     CompressionBackend(
         name="zlib",
         compress=lambda data: zlib.compress(data, 9),
         decompress=zlib.decompress,
-    )
-)
-# "gz" is an alias for zlib so the CLI accepts the paper's gzip-style name.
-register_backend(
-    CompressionBackend(
-        name="gz",
-        compress=lambda data: zlib.compress(data, 9),
-        decompress=zlib.decompress,
-    )
+    ),
+    aliases=("gz",),
 )
 register_backend(
     CompressionBackend(
         name="lzma",
         compress=lambda data: lzma.compress(data, preset=6),
         decompress=lzma.decompress,
-    )
-)
-register_backend(
-    CompressionBackend(
-        name="xz",
-        compress=lambda data: lzma.compress(data, preset=6),
-        decompress=lzma.decompress,
-    )
+    ),
+    aliases=("xz",),
 )
 register_backend(
     CompressionBackend(name="store", compress=_store_compress, decompress=_store_decompress)

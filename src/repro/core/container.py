@@ -28,7 +28,6 @@ Binary interval-record layout (little endian)::
 from __future__ import annotations
 
 import json
-import os
 import re
 import struct
 from pathlib import Path

@@ -11,8 +11,8 @@ engineering the format.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 import numpy as np
 

@@ -17,15 +17,33 @@ chunk's addresses.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.core.histograms import IntervalSummary, interval_distance
+from repro.core.histograms import IntervalSummary, apply_translation, interval_distance
 from repro.errors import CodecError, ConfigurationError
 
-__all__ = ["ChunkMatch", "ChunkTable", "IntervalRecord"]
+__all__ = ["ChunkMatch", "ChunkTable", "IntervalRecord", "materialize_interval"]
+
+
+def materialize_interval(record: "IntervalRecord", source: np.ndarray) -> np.ndarray:
+    """Regenerate one interval from its (decoded) source chunk.
+
+    This is the single replay step shared by the streaming decoder and the
+    in-memory lossy codec: truncate the chunk to the interval length and,
+    for imitation records, apply the stored byte translations.
+    """
+    if record.length > source.size:
+        raise CodecError(
+            f"interval of length {record.length} references a chunk with only "
+            f"{source.size} addresses"
+        )
+    piece = source[: record.length]
+    if record.kind == "imitate":
+        piece = apply_translation(piece, record.translations, record.active_bytes)
+    return piece
 
 
 @dataclass(frozen=True)

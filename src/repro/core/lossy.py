@@ -28,19 +28,18 @@ really is (the myopic interval problem the translations exist to fix).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.backend import get_backend
 from repro.core.histograms import (
     IntervalSummary,
-    apply_translation,
     byte_translation,
     translation_active_mask,
 )
-from repro.core.intervals import ChunkTable, IntervalRecord
+from repro.core.intervals import ChunkTable, IntervalRecord, materialize_interval
 from repro.core.lossless import LosslessCodec
 from repro.errors import CodecError, ConfigurationError
 from repro.traces.trace import as_address_array
@@ -78,6 +77,15 @@ class LossyConfig:
         backend: Byte-level compression back-end for chunks.
         enable_translation: Apply byte translations when imitating (True in
             the paper; False reproduces the Figure 4 ablation).
+        workers: Number of chunks compressed concurrently by the streaming
+            encoder (and prefetched by the decoder).  ``1`` is fully serial;
+            ``0``/``None`` means one worker per CPU.  The stdlib codecs
+            release the GIL while compressing, so a thread pool overlaps
+            chunk compression with trace consumption the same way the
+            paper's external ``bzip2 -c`` process overlaps with the tracer.
+            Output is byte-identical for every worker count; the knob only
+            changes wall-clock time and peak memory (bounded at roughly
+            ``2 * workers`` in-flight chunks).
     """
 
     interval_length: int = 20_000
@@ -86,14 +94,19 @@ class LossyConfig:
     max_table_entries: Optional[int] = None
     backend: object = "bz2"
     enable_translation: bool = True
+    workers: int = 1
 
     def __post_init__(self) -> None:
+        from repro.core.parallel import resolve_workers
+
         if self.interval_length <= 0:
             raise ConfigurationError("interval_length must be positive")
         if not 0.0 <= self.threshold <= 2.0:
             raise ConfigurationError("threshold must lie in [0, 2] (histogram distances do)")
         if self.chunk_buffer_addresses <= 0:
             raise ConfigurationError("chunk_buffer_addresses must be positive")
+        # Normalise 0/None to the CPU count once, at construction time.
+        object.__setattr__(self, "workers", resolve_workers(self.workers))
         get_backend(self.backend)
 
     @classmethod
@@ -177,8 +190,16 @@ class LossyIntervalEncoder:
         """Number of chunks created so far."""
         return self._next_chunk_id
 
-    def encode_interval(self, interval: np.ndarray) -> Tuple[IntervalRecord, Optional[bytes]]:
-        """Encode one interval; returns ``(record, chunk_payload_or_None)``."""
+    def plan_interval(self, interval: np.ndarray) -> Tuple[IntervalRecord, bool]:
+        """Classify one interval without compressing it.
+
+        Returns ``(record, needs_payload)``.  ``needs_payload`` is True when
+        the interval became a new chunk whose payload still has to be
+        produced (``chunk_codec.compress(interval)``); the caller is free to
+        run that compression asynchronously, because the classification of
+        later intervals only depends on the histogram summaries recorded
+        here, never on the compressed bytes.
+        """
         config = self.config
         summary = IntervalSummary.from_addresses(interval)
         match = self._table.best_match(summary)
@@ -196,14 +217,20 @@ class LossyIntervalEncoder:
                 translations=translations,
                 distance=match.distance,
             )
-            return record, None
+            return record, False
         chunk_id = self._next_chunk_id
         self._next_chunk_id += 1
-        payload = self.chunk_codec.compress(interval)
         self._chunk_summaries[chunk_id] = summary
         self._table.add(chunk_id, summary)
         record = IntervalRecord(kind="chunk", chunk_id=chunk_id, length=int(interval.size))
-        return record, payload
+        return record, True
+
+    def encode_interval(self, interval: np.ndarray) -> Tuple[IntervalRecord, Optional[bytes]]:
+        """Encode one interval; returns ``(record, chunk_payload_or_None)``."""
+        record, needs_payload = self.plan_interval(interval)
+        if not needs_payload:
+            return record, None
+        return record, self.chunk_codec.compress(interval)
 
 
 class LossyCodec:
@@ -217,48 +244,51 @@ class LossyCodec:
 
     # -- compression -------------------------------------------------------------------
     def compress(self, addresses) -> LossyCompressed:
-        """Compress a trace; returns the chunks and the interval trace."""
+        """Compress a trace; returns the chunks and the interval trace.
+
+        Interval classification is inherently sequential (each decision
+        depends on the chunk table built so far), but chunk payload
+        compression is not: the chunk intervals are collected during the
+        classification pass and compressed together afterwards, on
+        ``config.workers`` threads when more than one is configured.
+        """
         values = as_address_array(addresses)
         config = self.config
         encoder = LossyIntervalEncoder(config)
-        chunks: List[bytes] = []
+        chunk_intervals: List[np.ndarray] = []
         records: List[IntervalRecord] = []
         for start in range(0, values.size, config.interval_length):
             interval = values[start : start + config.interval_length]
-            record, payload = encoder.encode_interval(interval)
-            if payload is not None:
-                chunks.append(payload)
+            record, needs_payload = encoder.plan_interval(interval)
+            if needs_payload:
+                chunk_intervals.append(interval)
             records.append(record)
+        chunks = encoder.chunk_codec.compress_many(chunk_intervals, workers=config.workers)
         return LossyCompressed(
             config=config, chunks=chunks, records=records, original_length=int(values.size)
         )
 
     # -- decompression -------------------------------------------------------------------
     def decompress(self, compressed: LossyCompressed) -> np.ndarray:
-        """Regenerate an (approximate) trace from a :class:`LossyCompressed`."""
-        decoded_chunks: Dict[int, np.ndarray] = {}
+        """Regenerate an (approximate) trace from a :class:`LossyCompressed`.
 
-        def chunk_addresses(chunk_id: int) -> np.ndarray:
-            if chunk_id not in decoded_chunks:
-                if not 0 <= chunk_id < len(compressed.chunks):
-                    raise CodecError(f"interval trace references unknown chunk {chunk_id}")
-                decoded_chunks[chunk_id] = self._chunk_codec.decompress(
-                    compressed.chunks[chunk_id]
-                )
-            return decoded_chunks[chunk_id]
+        Chunk payloads are decompressed up front (in parallel when
+        ``config.workers > 1``), each exactly once, then the interval trace
+        is replayed against the decoded chunks.
+        """
+        needed = list(dict.fromkeys(record.chunk_id for record in compressed.records))
+        for chunk_id in needed:
+            if not 0 <= chunk_id < len(compressed.chunks):
+                raise CodecError(f"interval trace references unknown chunk {chunk_id}")
+        decoded = self._chunk_codec.decompress_many(
+            [compressed.chunks[chunk_id] for chunk_id in needed], workers=self.config.workers
+        )
+        decoded_chunks: Dict[int, np.ndarray] = dict(zip(needed, decoded))
 
-        pieces: List[np.ndarray] = []
-        for record in compressed.records:
-            source = chunk_addresses(record.chunk_id)
-            if record.length > source.size:
-                raise CodecError(
-                    f"interval of length {record.length} cannot be imitated by a chunk "
-                    f"of {source.size} addresses"
-                )
-            piece = source[: record.length]
-            if record.kind == "imitate":
-                piece = apply_translation(piece, record.translations, record.active_bytes)
-            pieces.append(piece)
+        pieces: List[np.ndarray] = [
+            materialize_interval(record, decoded_chunks[record.chunk_id])
+            for record in compressed.records
+        ]
         if not pieces:
             return np.empty(0, dtype=np.uint64)
         result = np.concatenate(pieces)

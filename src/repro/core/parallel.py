@@ -1,0 +1,142 @@
+"""Ordered parallel execution helpers for the chunk-compression pipeline.
+
+The paper's ATC tool overlaps compression with trace generation by piping
+bytesorted blocks through an external ``bzip2 -c`` process; the operating
+system runs the compressor on another core.  This module reproduces that
+overlap in-process: the standard-library codecs (``bz2``, ``zlib``,
+``lzma``) all release the GIL while (de)compressing, so a small thread pool
+compresses several chunks concurrently while the encoder keeps consuming
+addresses.
+
+Two primitives are provided:
+
+* :func:`map_ordered` — a bounded ``map`` over a thread pool that preserves
+  input order (used for bulk chunk compression and decoder prefetch).
+* :class:`OrderedChunkWriter` — a streaming pipeline stage: submit
+  ``(chunk_id, task)`` pairs as chunk boundaries are reached; completed
+  payloads are written back strictly in submission order, and at most
+  ``max_pending`` chunks are in flight so memory stays bounded.
+
+Both degrade to plain synchronous execution when ``workers <= 1``, which
+keeps the serial path free of thread-pool overhead and makes the
+byte-identity invariant (parallel output == serial output) easy to test.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Deque, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.errors import ConfigurationError
+
+__all__ = ["resolve_workers", "map_ordered", "OrderedChunkWriter"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a worker-count knob to a concrete positive integer.
+
+    ``None`` and ``0`` mean "one worker per available CPU"; any positive
+    integer is taken literally; negative values are rejected.
+    """
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    if not isinstance(workers, int) or workers < 0:
+        raise ConfigurationError(f"workers must be a non-negative integer or None, got {workers!r}")
+    return workers
+
+
+def map_ordered(fn: Callable[[_T], _R], items: Sequence[_T], workers: int = 1) -> List[_R]:
+    """Apply ``fn`` to every item, in parallel, preserving input order.
+
+    With ``workers <= 1`` (or fewer than two items) this is a plain list
+    comprehension; otherwise a thread pool of ``workers`` threads is used
+    and the results come back in input order, like ``Executor.map``.
+    """
+    items = list(items)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=min(workers, len(items))) as pool:
+        return list(pool.map(fn, items))
+
+
+class OrderedChunkWriter:
+    """Compress chunks on a thread pool, writing results in submission order.
+
+    Args:
+        write: Callback ``write(chunk_id, payload)`` invoked on the caller's
+            thread, strictly in the order chunks were submitted.
+        workers: Number of compression threads; ``1`` disables threading and
+            runs every task synchronously (the serial reference behaviour).
+        max_pending: Maximum number of chunks in flight before :meth:`submit`
+            blocks on the oldest one (defaults to ``2 * workers``), bounding
+            the memory held by buffered intervals and finished payloads.
+    """
+
+    def __init__(
+        self,
+        write: Callable[[int, bytes], object],
+        workers: int = 1,
+        max_pending: Optional[int] = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError("OrderedChunkWriter needs at least one worker")
+        self._write = write
+        self.workers = workers
+        self._max_pending = max_pending if max_pending is not None else 2 * workers
+        self._executor: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(max_workers=workers) if workers > 1 else None
+        )
+        self._pending: Deque[Tuple[int, "Future[bytes]"]] = deque()
+        self._closed = False
+
+    def submit(self, chunk_id: int, task: Callable[[], bytes]) -> None:
+        """Queue one chunk; ``task()`` produces its compressed payload."""
+        if self._closed:
+            raise ConfigurationError("cannot submit chunks to a closed OrderedChunkWriter")
+        if self._executor is None:
+            self._write(chunk_id, task())
+            return
+        self._pending.append((chunk_id, self._executor.submit(task)))
+        while len(self._pending) > self._max_pending:
+            self._drain_one()
+
+    def _drain_one(self) -> None:
+        chunk_id, future = self._pending.popleft()
+        self._write(chunk_id, future.result())
+
+    def close(self) -> None:
+        """Drain every in-flight chunk (in order) and shut the pool down."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            while self._pending:
+                self._drain_one()
+        finally:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+
+    def cancel(self) -> None:
+        """Drop all in-flight chunks without writing them (error path)."""
+        self._closed = True
+        self._pending.clear()
+        if self._executor is not None:
+            # cancel_futures keeps queued-but-unstarted compressions from
+            # running to completion just to be discarded (Python >= 3.9).
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "OrderedChunkWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.cancel()

@@ -24,10 +24,9 @@ incorrect) is exactly what :meth:`CdcPredictor.run` returns.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
-import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.traces.trace import as_address_array

@@ -25,7 +25,7 @@ VPC family is built on (see Section 3 of the paper).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import ConfigurationError
 

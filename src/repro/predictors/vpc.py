@@ -23,13 +23,13 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.backend import get_backend
 from repro.errors import CodecError
-from repro.predictors.value import Predictor, default_tcgen_predictors, make_predictor
+from repro.predictors.value import Predictor, make_predictor
 from repro.traces.trace import as_address_array
 
 __all__ = ["VpcCodec", "VpcStats", "vpc_compress", "vpc_decompress", "DEFAULT_PREDICTOR_SPECS"]

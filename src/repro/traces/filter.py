@@ -14,7 +14,6 @@ exactly the input format of the ATC compressor.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -80,18 +79,28 @@ class CacheFilter:
         self._block_shift = self.block_bytes.bit_length() - 1
 
     def filter(self, stream: ReferenceStream) -> FilterResult:
-        """Filter one reference stream and return the miss trace and stats."""
+        """Filter one reference stream and return the miss trace and stats.
+
+        The instruction and data caches never interact, so the interleaved
+        reference stream is split into the two per-cache subsequences, each
+        is simulated with the vectorised
+        :meth:`~repro.cache.cache.SetAssociativeCache.access_batch` path,
+        and the two miss masks are merged back so the filtered trace keeps
+        the original miss order.
+        """
         addresses = stream.addresses
-        is_instruction = stream.is_instruction
+        is_instruction = stream.is_instruction.astype(bool)
         blocks = (addresses >> np.uint64(self._block_shift)).astype(np.uint64)
-        misses = []
-        icache = self.instruction_cache
-        dcache = self.data_cache
-        for block, instruction in zip(blocks.tolist(), is_instruction.tolist()):
-            cache = icache if instruction else dcache
-            if not cache.access_block(block):
-                misses.append(block)
-        trace = AddressTrace(np.array(misses, dtype=np.uint64), name=stream.name)
+        miss_mask = np.zeros(blocks.size, dtype=bool)
+        instruction_positions = np.flatnonzero(is_instruction)
+        data_positions = np.flatnonzero(~is_instruction)
+        if instruction_positions.size:
+            hits = self.instruction_cache.access_batch(blocks[instruction_positions])
+            miss_mask[instruction_positions] = ~hits
+        if data_positions.size:
+            hits = self.data_cache.access_batch(blocks[data_positions])
+            miss_mask[data_positions] = ~hits
+        trace = AddressTrace(blocks[miss_mask], name=stream.name)
         return FilterResult(
             trace=trace,
             instruction_stats=self.instruction_cache.stats,

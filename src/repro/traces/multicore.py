@@ -25,12 +25,12 @@ sequence of 64-bit values that ATC can compress unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError, TraceFormatError
-from repro.traces.records import TAG_BITS, TAG_SHIFT, tag_addresses, untag_addresses
+from repro.traces.records import TAG_BITS, tag_addresses, untag_addresses
 from repro.traces.trace import AddressTrace, as_address_array
 
 __all__ = [

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis.reporting import render_breakdown_table, render_series, render_table
 

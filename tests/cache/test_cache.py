@@ -153,3 +153,62 @@ class TestCacheTraceHelpers:
         stats = cache.access_trace(blocks.tolist())
         expected = 1.0 - cache_blocks / num_blocks
         assert stats.miss_ratio == pytest.approx(expected, abs=0.05)
+
+
+def _serial_hits(cache: SetAssociativeCache, blocks: np.ndarray) -> np.ndarray:
+    """Reference implementation: one access_block call per element."""
+    return np.array([cache.access_block(int(block)) for block in blocks], dtype=bool)
+
+
+class TestAccessBatchEquivalence:
+    """The vectorised batch paths must be bit-identical to the serial loop."""
+
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "random"])
+    @pytest.mark.parametrize("associativity", [1, 2, 4])
+    def test_hits_stats_and_state_match_serial(self, policy, associativity):
+        rng = np.random.default_rng(2009)
+        config = CacheConfig(num_sets=16, associativity=associativity, policy=policy)
+        batched = SetAssociativeCache(config, seed=5)
+        serial = SetAssociativeCache(config, seed=5)
+        for _ in range(3):
+            blocks = rng.integers(0, 150, size=800, dtype=np.uint64)
+            assert np.array_equal(batched.access_batch(blocks), _serial_hits(serial, blocks))
+            assert batched.stats == serial.stats
+            assert batched._sets == serial._sets
+            assert batched._clock == serial._clock
+
+    @pytest.mark.parametrize("associativity", [1, 4])
+    def test_batch_interoperates_with_serial_accesses(self, associativity):
+        """A batch phase followed by single accesses behaves like all-serial."""
+        rng = np.random.default_rng(7)
+        config = CacheConfig(num_sets=8, associativity=associativity, policy="lru")
+        mixed = SetAssociativeCache(config)
+        reference = SetAssociativeCache(config)
+        blocks = rng.integers(0, 64, size=500, dtype=np.uint64)
+        mixed.access_batch(blocks)
+        _serial_hits(reference, blocks)
+        follow_up = rng.integers(0, 64, size=200, dtype=np.uint64)
+        for block in follow_up.tolist():
+            assert mixed.access_block(block) == reference.access_block(block)
+        assert mixed.stats == reference.stats
+
+    def test_dirty_blocks_fall_back_to_exact_writeback_accounting(self):
+        config = CacheConfig(num_sets=1, associativity=1, policy="lru")
+        batched = SetAssociativeCache(config)
+        serial = SetAssociativeCache(config)
+        for cache in (batched, serial):
+            cache.access_block_rw(0, is_write=True)  # block 0 is dirty
+        blocks = np.array([1, 2, 1], dtype=np.uint64)
+        assert np.array_equal(batched.access_batch(blocks), _serial_hits(serial, blocks))
+        assert batched.stats == serial.stats
+        assert batched.stats.writebacks == 1  # evicting dirty block 0
+
+    def test_empty_batch(self):
+        cache = SetAssociativeCache(CacheConfig(num_sets=4, associativity=2))
+        assert cache.access_batch(np.empty(0, dtype=np.uint64)).size == 0
+        assert cache.stats.accesses == 0
+
+    def test_batch_accepts_plain_iterables(self):
+        cache = SetAssociativeCache(CacheConfig(num_sets=4, associativity=2))
+        hits = cache.access_batch([1, 1, 2])
+        assert hits.tolist() == [False, True, False]

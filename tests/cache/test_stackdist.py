@@ -2,13 +2,12 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cache.cache import CacheConfig, SetAssociativeCache
-from repro.cache.stackdist import LruStackSimulator, MissRatioCurve, simulate_miss_curve
+from repro.cache.stackdist import LruStackSimulator, simulate_miss_curve
 from repro.errors import ConfigurationError
 
 

@@ -9,7 +9,9 @@ from hypothesis import strategies as st
 from repro.core.backend import (
     CompressionBackend,
     available_backends,
+    backend_aliases,
     get_backend,
+    register_alias,
     register_backend,
 )
 from repro.errors import ConfigurationError
@@ -37,6 +39,62 @@ class TestBackendRegistry:
         custom = CompressionBackend("reverse", lambda d: d[::-1], lambda d: d[::-1])
         register_backend(custom)
         assert get_backend("reverse").roundtrip(b"hello") == b"hello"
+
+
+class TestBackendAliases:
+    def test_gz_and_xz_resolve_to_canonical_backends(self):
+        assert get_backend("gz") is get_backend("zlib")
+        assert get_backend("xz") is get_backend("lzma")
+        assert get_backend("gz").name == "zlib"
+        assert get_backend("xz").name == "lzma"
+
+    def test_alias_mapping_is_deterministic(self):
+        aliases = backend_aliases()
+        assert aliases["gz"] == "zlib"
+        assert aliases["xz"] == "lzma"
+        assert list(aliases) == sorted(aliases)
+
+    def test_available_backends_sorted_and_include_aliases(self):
+        names = available_backends()
+        assert list(names) == sorted(names)
+        assert "gz" in names and "xz" in names
+
+    def test_alias_to_unknown_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_alias("nope", "missing-backend")
+
+    def test_alias_shadowing_backend_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_alias("bz2", "zlib")
+
+    def test_registered_backend_overrides_alias(self):
+        """Substituting an instrumented back-end under an alias name works."""
+        calls = []
+
+        def spy_compress(data):
+            calls.append(len(data))
+            return bytes(data)
+
+        from repro.core.backend import _BACKENDS
+
+        try:
+            register_backend(CompressionBackend("gz", spy_compress, lambda d: bytes(d)))
+            assert get_backend("gz").name == "gz"
+            get_backend("gz").compress(b"xyz")
+            assert calls == [3]
+        finally:
+            # Restore the stock registry: drop the instrumented back-end and
+            # re-point the alias at zlib.
+            _BACKENDS.pop("gz", None)
+            register_alias("gz", "zlib")
+        assert get_backend("gz") is get_backend("zlib")
+
+    def test_custom_alias_registration(self):
+        register_backend(
+            CompressionBackend("identity2", lambda d: bytes(d), lambda d: bytes(d)),
+            aliases=("id2",),
+        )
+        assert get_backend("id2") is get_backend("identity2")
 
 
 class TestBackendRoundtrips:

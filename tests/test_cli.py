@@ -1,11 +1,11 @@
-"""Tests of the bin2atc / atc2bin / atc-inspect command-line tools."""
+"""Tests of the repro / bin2atc / atc2bin / atc-inspect command-line tools."""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
-from repro.cli import atc2bin_main, bin2atc_main, inspect_main
+from repro.cli import atc2bin_main, bin2atc_main, inspect_main, main
 from repro.traces.trace import read_raw_trace, write_raw_trace
 
 
@@ -95,6 +95,112 @@ class TestBin2Atc:
 class TestAtc2Bin:
     def test_missing_container_fails_cleanly(self, tmp_path):
         assert atc2bin_main([str(tmp_path / "missing")]) == 1
+
+
+class TestJobsFlag:
+    def test_parallel_encode_decode_roundtrip(self, tmp_path, raw_trace_file, working_set_addresses):
+        container = tmp_path / "container"
+        exit_code = bin2atc_main(
+            [
+                str(container),
+                "--lossless",
+                "--input",
+                str(raw_trace_file),
+                "--buffer-addresses",
+                "10000",
+                "--jobs",
+                "4",
+            ]
+        )
+        assert exit_code == 0
+        output = tmp_path / "out.bin"
+        assert atc2bin_main([str(container), "--output", str(output), "--jobs", "4"]) == 0
+        assert np.array_equal(read_raw_trace(output).addresses, working_set_addresses)
+
+    def test_missing_input_file_fails_cleanly(self, tmp_path, capsys):
+        container = tmp_path / "container"
+        args = [str(container), "--lossless", "--input", str(tmp_path / "nope.bin")]
+        assert bin2atc_main(args) == 1
+        assert "cannot open input" in capsys.readouterr().err
+
+    def test_unwritable_output_fails_cleanly(self, tmp_path, raw_trace_file, capsys):
+        container = tmp_path / "container"
+        bin2atc_main([str(container), "--lossless", "--input", str(raw_trace_file)])
+        capsys.readouterr()
+        args = [str(container), "--output", str(tmp_path / "no-dir" / "out.bin")]
+        assert atc2bin_main(args) == 1
+        assert "cannot open output" in capsys.readouterr().err
+
+    def test_invalid_jobs_fails_cleanly(self, tmp_path, raw_trace_file, capsys):
+        container = tmp_path / "container"
+        args = [str(container), "--lossless", "--input", str(raw_trace_file), "--jobs", "-3"]
+        assert bin2atc_main(args) == 1
+        assert "workers" in capsys.readouterr().err
+
+    def test_invalid_backend_fails_cleanly(self, tmp_path, raw_trace_file, capsys):
+        container = tmp_path / "container"
+        args = [str(container), "--input", str(raw_trace_file), "--backend", "bzip99"]
+        assert bin2atc_main(args) == 1
+        assert "unknown compression backend" in capsys.readouterr().err
+
+    def test_jobs_containers_are_byte_identical(self, tmp_path, raw_trace_file):
+        containers = []
+        for jobs in ("1", "4"):
+            container = tmp_path / f"container-{jobs}"
+            bin2atc_main(
+                [
+                    str(container),
+                    "--lossless",
+                    "--input",
+                    str(raw_trace_file),
+                    "--buffer-addresses",
+                    "10000",
+                    "--jobs",
+                    jobs,
+                ]
+            )
+            containers.append(
+                {entry.name: entry.read_bytes() for entry in container.iterdir()}
+            )
+        assert containers[0] == containers[1]
+
+
+class TestReproUmbrella:
+    def test_compress_decompress_inspect(self, tmp_path, raw_trace_file, working_set_addresses, capsys):
+        container = tmp_path / "container"
+        assert (
+            main(
+                [
+                    "compress",
+                    str(container),
+                    "--lossless",
+                    "--input",
+                    str(raw_trace_file),
+                    "--buffer-addresses",
+                    "10000",
+                    "--jobs",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        output = tmp_path / "out.bin"
+        assert main(["decompress", str(container), "--output", str(output)]) == 0
+        assert np.array_equal(read_raw_trace(output).addresses, working_set_addresses)
+        assert main(["inspect", str(container)]) == 0
+        assert "lossless" in capsys.readouterr().out
+
+    def test_unknown_subcommand(self, capsys):
+        assert main(["transmogrify"]) == 2
+        assert "unknown subcommand" in capsys.readouterr().err
+
+    def test_no_arguments_prints_usage(self, capsys):
+        assert main([]) == 2
+        assert "usage: repro" in capsys.readouterr().err
+
+    def test_help_flag(self, capsys):
+        assert main(["--help"]) == 0
+        assert "subcommands" in capsys.readouterr().out
 
 
 class TestInspect:

@@ -96,3 +96,28 @@ class TestFilteredSpecLikeTrace:
         streaming = filtered_spec_like_trace("453.povray", 10_000, seed=0)
         pointer = filtered_spec_like_trace("429.mcf", 10_000, seed=0)
         assert len(streaming) < len(pointer)
+
+
+class TestFilterBatchEquivalence:
+    """The vectorised split-by-cache filter must match the interleaved loop."""
+
+    def test_matches_serial_interleaved_reference(self):
+        from repro.cache.cache import SetAssociativeCache
+
+        stream = synthetic.make_reference_stream(
+            synthetic.random_working_set(8_000, working_set_blocks=3_000, seed=3), seed=4
+        )
+        result = CacheFilter().filter(stream)
+
+        icache = SetAssociativeCache(PAPER_L1_CONFIG)
+        dcache = SetAssociativeCache(PAPER_L1_CONFIG)
+        shift = np.uint64(6)
+        blocks = (stream.addresses >> shift).astype(np.uint64)
+        expected = []
+        for block, instruction in zip(blocks.tolist(), stream.is_instruction.tolist()):
+            cache = icache if instruction else dcache
+            if not cache.access_block(block):
+                expected.append(block)
+        assert result.trace.addresses.tolist() == expected
+        assert result.instruction_stats == icache.stats
+        assert result.data_stats == dcache.stats
