@@ -1,0 +1,133 @@
+"""Peak memory of the streaming file-to-file pipeline vs. trace length.
+
+The acceptance scenario of the streaming subsystem: a ``repro compress`` ->
+``repro decompress`` round-trip of a 10 M-address synthetic trace (80 MB
+raw) must run with peak memory *independent of trace length*.  This bench
+performs exactly the CLI's file-to-file pipeline — raw chunks ->
+``AtcEncoder.encode_stream`` -> container -> ``AtcDecoder.iter_chunks`` ->
+raw file — at two trace lengths (default 2 M and 10 M addresses), measures
+the peak allocated memory of each run with :mod:`tracemalloc` (NumPy
+buffers are tracked since NumPy 1.13), and asserts:
+
+* the round-tripped file is byte-identical to the input (lossless mode);
+* the long run's peak is within a small factor of the short run's, i.e.
+  peak memory is set by the chunk size, not the trace length;
+* both peaks are far below the raw size of the long trace.
+
+``REPRO_BENCH_STREAM_REFS`` overrides the short length (the long run is
+always 5x); the default 2 M/10 M pair keeps the bench in the tens of
+seconds.  The timed numbers include tracemalloc's bookkeeping overhead —
+this bench's product is the memory profile, not a throughput record.
+"""
+
+from __future__ import annotations
+
+import os
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.atc import MODE_LOSSLESS, AtcDecoder, AtcEncoder
+from repro.core.lossy import LossyConfig
+from repro.traces.trace import iter_raw_chunks
+
+#: Short trace length in addresses; the long trace is ``5 x`` this.
+STREAM_REFS = int(os.environ.get("REPRO_BENCH_STREAM_REFS", "2000000"))
+
+LONG_FACTOR = 5
+
+#: Pipeline chunk size (addresses); also the lossless bytesort buffer.
+CHUNK_ADDRESSES = 65536
+
+#: The long run's peak may exceed the short run's by at most this factor
+#: (plus an absolute slack for allocator noise) to count as "flat".
+FLATNESS_FACTOR = 1.5
+
+FLATNESS_SLACK_BYTES = 8 << 20
+
+
+def _write_synthetic_trace(path: Path, length: int) -> None:
+    """Write a raw trace of ``length`` addresses chunk by chunk (no full array)."""
+    with open(path, "wb") as sink:
+        for start in range(0, length, CHUNK_ADDRESSES):
+            stop = min(start + CHUNK_ADDRESSES, length)
+            index = np.arange(start, stop, dtype=np.uint64)
+            # A wrapped strided sweep with a small scrambled offset: regular
+            # enough to compress quickly, irregular enough to be honest.
+            addresses = (index * np.uint64(64) + (index * np.uint64(2654435761)) % np.uint64(4096)) % np.uint64(
+                1 << 34
+            )
+            sink.write(addresses.tobytes())
+
+
+def _streaming_roundtrip(input_path: Path, container: Path, output_path: Path) -> None:
+    """The CLI pipeline: raw file -> lossless container -> raw file, chunked."""
+    config = LossyConfig(chunk_buffer_addresses=CHUNK_ADDRESSES, backend="zlib")
+    with AtcEncoder(container, mode=MODE_LOSSLESS, config=config) as encoder:
+        encoder.encode_stream(iter_raw_chunks(input_path, CHUNK_ADDRESSES))
+    decoder = AtcDecoder(container)
+    with open(output_path, "wb") as sink:
+        for chunk in decoder.iter_chunks(CHUNK_ADDRESSES):
+            sink.write(chunk.astype("<u8", copy=False).tobytes())
+
+
+def _files_equal(a: Path, b: Path) -> bool:
+    """Chunked byte comparison (bounded memory, like everything here)."""
+    if a.stat().st_size != b.stat().st_size:
+        return False
+    with open(a, "rb") as fa, open(b, "rb") as fb:
+        while True:
+            block_a = fa.read(1 << 20)
+            block_b = fb.read(1 << 20)
+            if block_a != block_b:
+                return False
+            if not block_a:
+                return True
+
+
+def _measured_roundtrip(tmp_root: Path, length: int, label: str) -> int:
+    """Run one round-trip and return its peak traced memory in bytes."""
+    input_path = tmp_root / f"{label}.bin"
+    output_path = tmp_root / f"{label}.out.bin"
+    container = tmp_root / f"{label}.atc"
+    _write_synthetic_trace(input_path, length)
+    tracemalloc.start()
+    try:
+        _streaming_roundtrip(input_path, container, output_path)
+        peak = tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+    assert _files_equal(input_path, output_path), (
+        f"streaming round-trip of {length} addresses is not byte-identical"
+    )
+    return int(peak)
+
+
+def test_streaming_roundtrip_memory_is_flat(benchmark, tmp_path_factory):
+    """Peak memory of the 5x-longer trace must match the short trace's."""
+    tmp_root = tmp_path_factory.mktemp("stream-mem")
+    short_length = STREAM_REFS
+    long_length = LONG_FACTOR * STREAM_REFS
+    peak_short = _measured_roundtrip(tmp_root, short_length, "short")
+
+    def run_long():
+        return _measured_roundtrip(tmp_root / "long-run", long_length, "long")
+
+    (tmp_root / "long-run").mkdir()
+    peak_long = benchmark.pedantic(run_long, rounds=1, iterations=1)
+
+    benchmark.extra_info["short_addresses"] = short_length
+    benchmark.extra_info["long_addresses"] = long_length
+    benchmark.extra_info["peak_bytes_short"] = peak_short
+    benchmark.extra_info["peak_bytes_long"] = peak_long
+    benchmark.extra_info["chunk_addresses"] = CHUNK_ADDRESSES
+
+    raw_long_bytes = 8 * long_length
+    assert peak_long <= FLATNESS_FACTOR * peak_short + FLATNESS_SLACK_BYTES, (
+        f"peak memory grew with trace length: {peak_short} -> {peak_long} bytes "
+        f"for {short_length} -> {long_length} addresses"
+    )
+    assert peak_long < raw_long_bytes / 4, (
+        f"peak memory {peak_long} is not small against the {raw_long_bytes}-byte raw trace"
+    )

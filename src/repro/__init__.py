@@ -25,7 +25,9 @@ from repro.core.atc import (
     AtcDecoder,
     AtcEncoder,
     atc_open,
+    compress_stream,
     compress_trace,
+    decompress_stream,
     decompress_trace,
 )
 from repro.core.bytesort import (
@@ -43,9 +45,9 @@ from repro.errors import (
     ReproError,
     TraceFormatError,
 )
-from repro.traces.filter import CacheFilter, filtered_spec_like_trace
+from repro.traces.filter import CacheFilter, StreamingCacheFilter, filtered_spec_like_trace
 from repro.traces.spec_like import SPEC_LIKE_NAMES, spec_like_suite
-from repro.traces.trace import AddressTrace, read_raw_trace, write_raw_trace
+from repro.traces.trace import AddressTrace, iter_raw_chunks, read_raw_trace, write_raw_trace
 
 __version__ = "1.0.0"
 
@@ -57,6 +59,8 @@ __all__ = [
     "atc_open",
     "compress_trace",
     "decompress_trace",
+    "compress_stream",
+    "decompress_stream",
     "LosslessCodec",
     "lossless_compress",
     "lossless_decompress",
@@ -73,7 +77,9 @@ __all__ = [
     "AddressTrace",
     "read_raw_trace",
     "write_raw_trace",
+    "iter_raw_chunks",
     "CacheFilter",
+    "StreamingCacheFilter",
     "filtered_spec_like_trace",
     "spec_like_suite",
     "SPEC_LIKE_NAMES",

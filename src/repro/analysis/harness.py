@@ -25,7 +25,7 @@ from repro.core.lossy import LossyCodec, LossyConfig
 from repro.predictors.vpc import VpcCodec
 from repro.traces.filter import filtered_spec_like_trace
 from repro.traces.spec_like import SPEC_LIKE_NAMES
-from repro.traces.trace import AddressTrace
+from repro.traces.trace import DEFAULT_CHUNK_ADDRESSES, AddressTrace
 
 __all__ = ["EvaluationScale", "EvaluationHarness", "LosslessComparison", "LossyComparison"]
 
@@ -100,6 +100,48 @@ class EvaluationHarness:
                 name, self.scale.references_per_workload, seed=self.scale.seed
             )
         return self._traces[name]
+
+    def stream_trace(self, name: str, chunk_addresses: int = DEFAULT_CHUNK_ADDRESSES):
+        """Stream one workload's cache-filtered trace as address chunks.
+
+        The streaming counterpart of :meth:`trace`: the concatenated chunks
+        are byte-identical to ``self.trace(name).addresses``, but the
+        filter runs chunk by chunk so downstream consumers (ATC encoder,
+        hierarchy replay) see chunk-bounded memory.  The result is not
+        cached — the point of streaming is not to hold the trace.
+        """
+        from repro.traces.filter import iter_filtered_spec_like_chunks
+
+        return iter_filtered_spec_like_chunks(
+            name,
+            self.scale.references_per_workload,
+            chunk_addresses=chunk_addresses,
+            seed=self.scale.seed,
+        )
+
+    def compress_workload(
+        self,
+        name: str,
+        directory,
+        mode: str = "c",
+        config: Optional[LossyConfig] = None,
+        chunk_addresses: int = DEFAULT_CHUNK_ADDRESSES,
+    ):
+        """Filter one workload and compress it straight into a container.
+
+        Runs the whole paper pipeline — workload generation -> L1 filter ->
+        ATC encoder -> on-disk container — as one streaming chain, so the
+        filtered trace is never materialised.  Returns the
+        :class:`~repro.core.atc.AtcDecoder` of the written container.  The
+        container is byte-identical to compressing ``self.trace(name)`` in
+        memory with the same mode and configuration.
+        """
+        from repro.core.atc import compress_stream
+
+        config = config if config is not None else self.scale.lossy_config()
+        return compress_stream(
+            self.stream_trace(name, chunk_addresses), directory, mode=mode, config=config
+        )
 
     def traces(self, minimum_length: int = 1_000) -> Dict[str, AddressTrace]:
         """All workload traces at least ``minimum_length`` addresses long."""

@@ -9,7 +9,7 @@ that miss in the last level.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -17,6 +17,21 @@ from repro.cache.cache import CacheConfig, CacheStats, SetAssociativeCache
 from repro.errors import ConfigurationError
 
 __all__ = ["CacheHierarchy"]
+
+
+def _slices_of(blocks: Iterable[int], size: Optional[int] = None) -> Iterator[np.ndarray]:
+    """Regroup a lazy block iterable into bounded uint64 slices."""
+    from itertools import islice
+
+    from repro.traces.trace import DEFAULT_CHUNK_ADDRESSES, as_address_array
+
+    size = DEFAULT_CHUNK_ADDRESSES if size is None else size
+    iterator = iter(blocks)
+    while True:
+        piece = list(islice(iterator, size))
+        if not piece:
+            return
+        yield as_address_array(piece)
 
 
 class CacheHierarchy:
@@ -59,13 +74,60 @@ class CacheHierarchy:
                 break
         return hit
 
+    def access_batch(self, blocks) -> np.ndarray:
+        """Access many block addresses at once; returns the boolean hit mask.
+
+        Semantically identical to calling :meth:`access_block` on every
+        element in order: level 1 sees the whole batch, and each further
+        level sees exactly the subsequence that missed every level before
+        it (the serial loop's early-exit behaviour), simulated with the
+        vectorised per-level
+        :meth:`~repro.cache.cache.SetAssociativeCache.access_batch`.
+        """
+        from repro.traces.trace import as_address_array
+
+        array = as_address_array(blocks)
+        count = int(array.size)
+        hits = np.zeros(count, dtype=bool)
+        pending = array
+        pending_positions = np.arange(count, dtype=np.int64)
+        for level in self.levels:
+            if pending.size == 0:
+                break
+            level_hits = level.access_batch(pending)
+            hits[pending_positions[level_hits]] = True
+            pending = pending[~level_hits]
+            pending_positions = pending_positions[~level_hits]
+        return hits
+
     def miss_stream(self, blocks: Iterable[int]) -> np.ndarray:
-        """Return the block addresses that miss in every level, in order."""
-        misses = []
-        for block in blocks:
-            if not self.access_block(int(block)):
-                misses.append(int(block))
-        return np.array(misses, dtype=np.uint64)
+        """Return the block addresses that miss in every level, in order.
+
+        Arrays and sequences take the vectorised :meth:`access_batch` path
+        directly; lazy iterables (generators) are consumed in bounded
+        slices so only the misses are ever held, preserving the streaming
+        memory profile of the serial per-access loop.
+        """
+        from repro.traces.trace import as_address_array
+
+        if isinstance(blocks, np.ndarray) or hasattr(blocks, "__len__"):
+            array = as_address_array(blocks)
+            return array[~self.access_batch(array)]
+        miss_chunks = list(self.miss_stream_chunks(_slices_of(blocks)))
+        if not miss_chunks:
+            return np.empty(0, dtype=np.uint64)
+        return np.concatenate(miss_chunks)
+
+    def miss_stream_chunks(self, chunks) -> Iterator[np.ndarray]:
+        """Streaming :meth:`miss_stream`: miss chunks from address chunks.
+
+        Cache state carries across chunks, so for any chunking of a block
+        stream the concatenated output is byte-identical to
+        :meth:`miss_stream` on the whole stream, with peak memory bounded
+        by the chunk size.
+        """
+        for chunk in chunks:
+            yield self.miss_stream(chunk)
 
     def stats(self) -> List[CacheStats]:
         """Return the per-level statistics, from first level to last."""

@@ -22,16 +22,14 @@ import argparse
 import sys
 from typing import List, Optional
 
-import numpy as np
-
 from repro.core.atc import MODE_LOSSLESS, MODE_LOSSY, AtcDecoder, AtcEncoder
 from repro.core.lossy import LossyConfig
-from repro.errors import ReproError
-from repro.traces.trace import ADDRESS_BYTES
+from repro.errors import ReproError, TraceFormatError
+from repro.traces.trace import DEFAULT_CHUNK_ADDRESSES, iter_raw_chunks
 
 __all__ = ["bin2atc_main", "atc2bin_main", "inspect_main", "main"]
 
-_READ_CHUNK_ADDRESSES = 65536
+_READ_CHUNK_ADDRESSES = DEFAULT_CHUNK_ADDRESSES
 
 
 def _build_bin2atc_parser() -> argparse.ArgumentParser:
@@ -107,16 +105,18 @@ def bin2atc_main(argv: Optional[List[str]] = None) -> int:
         print(f"bin2atc: error: cannot open input: {error}", file=sys.stderr)
         return 1
     try:
+        # Streaming pipeline: the raw input is read one fixed-size chunk at
+        # a time and fed straight to the encoder, so memory stays bounded
+        # by the chunk size (plus the encoder's interval buffer) no matter
+        # how long the trace is.
+        chunks = iter_raw_chunks(stream, _READ_CHUNK_ADDRESSES)
         with AtcEncoder(args.directory, mode=mode, config=config) as encoder:
-            while True:
-                payload = stream.read(_READ_CHUNK_ADDRESSES * ADDRESS_BYTES)
-                if not payload:
-                    break
-                usable = len(payload) - (len(payload) % ADDRESS_BYTES)
-                if usable:
-                    encoder.code_many(np.frombuffer(payload[:usable], dtype="<u8"))
-                if usable != len(payload):
-                    print("warning: dropped a trailing partial record", file=sys.stderr)
+            try:
+                encoder.encode_stream(chunks)
+            except TraceFormatError:
+                # All complete records were already coded; only the final
+                # partial record is dropped, like the paper's fread loop.
+                print("warning: dropped a trailing partial record", file=sys.stderr)
             coded = encoder.addresses_coded
         print(f"coded {coded} addresses into {args.directory}", file=sys.stderr)
         return 0
@@ -159,8 +159,11 @@ def atc2bin_main(argv: Optional[List[str]] = None) -> int:
         print(f"atc2bin: error: cannot open output: {error}", file=sys.stderr)
         return 1
     try:
-        for interval in decoder.iter_intervals():
-            sink.write(interval.astype("<u8", copy=False).tobytes())
+        # Streaming pipeline: decoded intervals are re-chunked to a fixed
+        # output chunk size, so writes are bounded-memory regardless of the
+        # container's interval length or total trace length.
+        for chunk in decoder.iter_chunks(_READ_CHUNK_ADDRESSES):
+            sink.write(chunk.astype("<u8", copy=False).tobytes())
         return 0
     finally:
         if args.output:

@@ -1,6 +1,14 @@
 """The paper's contribution: bytesort, the lossy phase codec and ATC itself."""
 
-from repro.core.atc import AtcDecoder, AtcEncoder, atc_open, compress_trace, decompress_trace
+from repro.core.atc import (
+    AtcDecoder,
+    AtcEncoder,
+    atc_open,
+    compress_stream,
+    compress_trace,
+    decompress_stream,
+    decompress_trace,
+)
 from repro.core.backend import CompressionBackend, available_backends, get_backend
 from repro.core.bytesort import (
     bytesort_inverse,
@@ -20,6 +28,13 @@ from repro.core.histograms import (
 )
 from repro.core.intervals import ChunkTable, IntervalRecord
 from repro.core.lossless import LosslessCodec, lossless_compress, lossless_decompress
+from repro.core.stream import (
+    DEFAULT_CHUNK_ADDRESSES,
+    chunk_array,
+    concat_chunks,
+    count_addresses,
+    rechunk,
+)
 from repro.core.lossy import (
     LossyCodec,
     LossyCompressed,
@@ -35,6 +50,13 @@ __all__ = [
     "atc_open",
     "compress_trace",
     "decompress_trace",
+    "compress_stream",
+    "decompress_stream",
+    "DEFAULT_CHUNK_ADDRESSES",
+    "chunk_array",
+    "rechunk",
+    "concat_chunks",
+    "count_addresses",
     "AtcContainer",
     "LossyTraceReport",
     "analyze_lossy",

@@ -36,7 +36,7 @@ from repro.core.lossless import LosslessCodec
 from repro.core.lossy import LossyConfig, LossyIntervalEncoder
 from repro.core.parallel import OrderedChunkWriter, map_ordered, resolve_workers
 from repro.errors import CodecError, ConfigurationError
-from repro.traces.trace import AddressTrace, as_address_array
+from repro.traces.trace import DEFAULT_CHUNK_ADDRESSES, AddressTrace, as_address_array
 
 __all__ = [
     "MODE_LOSSY",
@@ -47,6 +47,8 @@ __all__ = [
     "atc_open",
     "compress_trace",
     "decompress_trace",
+    "compress_stream",
+    "decompress_stream",
 ]
 
 #: Paper's ``atc_open`` mode characters.
@@ -160,6 +162,24 @@ class AtcEncoder:
         if tail:
             self._buffer[:tail] = array[offset:]
             self._buffered = tail
+
+    def encode_stream(self, chunks) -> int:
+        """Feed every chunk of an address-chunk stream to the encoder.
+
+        ``chunks`` is any iterable of ``uint64`` arrays (the streaming
+        pipeline's currency — see :mod:`repro.core.stream`).  Chunks are
+        consumed lazily one at a time, so peak memory is bounded by the
+        chunk size plus the encoder's interval buffer, never the trace
+        length.  The resulting container is byte-identical to calling
+        :meth:`code_many` on the concatenated chunks (and therefore to the
+        fully in-memory path), for every chunking.
+
+        Returns the number of addresses consumed from the stream.
+        """
+        before = self._total
+        for chunk in chunks:
+            self.code_many(chunk)
+        return self._total - before
 
     def _flush_buffer(self) -> None:
         if not self._buffered:
@@ -332,6 +352,39 @@ class AtcDecoder:
                 for future in futures.values():
                     future.cancel()
 
+    def iter_chunks(self, chunk_addresses: int = DEFAULT_CHUNK_ADDRESSES) -> Iterator[np.ndarray]:
+        """Yield the decoded trace as fixed-size address chunks, in order.
+
+        A bounded-memory re-chunking of :meth:`iter_intervals`: every chunk
+        except possibly the last has exactly ``chunk_addresses`` addresses,
+        and the concatenated chunks are byte-identical to :meth:`read_all`
+        (for a lossy container, the approximate decoded trace) without ever
+        materialising the whole trace.  Peak memory is bounded by the chunk
+        size plus one decoded interval.
+
+        Like :meth:`read_all`, the stream is checked against the INFO
+        metadata: a container that decodes to a different number of
+        addresses than it records raises :class:`CodecError` at
+        exhaustion rather than ending a short stream silently.
+        """
+        from repro.core.stream import rechunk
+        from repro.traces.trace import check_chunk_addresses
+
+        chunk_addresses = check_chunk_addresses(chunk_addresses)
+
+        def checked() -> Iterator[np.ndarray]:
+            produced = 0
+            for chunk in rechunk(self.iter_intervals(), chunk_addresses):
+                produced += int(chunk.size)
+                yield chunk
+            expected = int(self.metadata.get("original_length", produced))
+            if produced != expected:
+                raise CodecError(
+                    f"container decodes to {produced} addresses but INFO records {expected}"
+                )
+
+        return checked()
+
     def _read_all_pieces(self) -> List[np.ndarray]:
         """Bulk decode path: load (read + decompress) every referenced chunk
         exactly once, pipelined per chunk on the thread pool when
@@ -439,3 +492,34 @@ def compress_trace(
 def decompress_trace(directory, workers: int = 1) -> np.ndarray:
     """Decode an ATC container directory into an address array."""
     return AtcDecoder(directory, workers=workers).read_all()
+
+
+def compress_stream(
+    chunks,
+    directory,
+    mode: str = MODE_LOSSY,
+    config: Optional[LossyConfig] = None,
+) -> AtcDecoder:
+    """Compress an address-chunk stream to a container and return a decoder.
+
+    The streaming counterpart of :func:`compress_trace`: ``chunks`` is any
+    iterable of ``uint64`` arrays, consumed one chunk at a time, so the
+    whole trace is never materialised.  The container is byte-identical to
+    ``compress_trace(concatenated_chunks, ...)`` for every chunking.
+    """
+    config = config if config is not None else LossyConfig()
+    with AtcEncoder(directory, mode=mode, config=config) as encoder:
+        encoder.encode_stream(chunks)
+    return AtcDecoder(directory, workers=config.workers)
+
+
+def decompress_stream(
+    directory, chunk_addresses: int = DEFAULT_CHUNK_ADDRESSES, workers: int = 1
+) -> Iterator[np.ndarray]:
+    """Decode an ATC container as a bounded-memory address-chunk stream.
+
+    The streaming counterpart of :func:`decompress_trace`: the concatenated
+    chunks equal ``decompress_trace(directory)`` exactly, but peak memory
+    is bounded by the chunk size plus one decoded interval.
+    """
+    return AtcDecoder(directory, workers=workers).iter_chunks(chunk_addresses)

@@ -4,12 +4,16 @@ from repro.traces.filter import (
     PAPER_L1_CONFIG,
     CacheFilter,
     FilterResult,
+    StreamingCacheFilter,
     filter_reference_stream,
     filtered_spec_like_trace,
+    iter_filtered_spec_like_chunks,
 )
 from repro.traces.multicore import (
     interleave_round_robin,
     interleave_weighted,
+    iter_interleave_round_robin,
+    iter_interleave_weighted,
     merge_traces,
     split_by_core,
 )
@@ -29,6 +33,7 @@ from repro.traces.trace import (
     block_address,
     byte_address,
     iter_raw_addresses,
+    iter_raw_chunks,
     read_raw_trace,
     write_raw_trace,
 )
@@ -42,6 +47,7 @@ __all__ = [
     "read_raw_trace",
     "write_raw_trace",
     "iter_raw_addresses",
+    "iter_raw_chunks",
     "ReferenceStream",
     "SpecLikeWorkload",
     "SPEC_LIKE_NAMES",
@@ -49,15 +55,19 @@ __all__ = [
     "get_workload",
     "generate_reference_stream",
     "CacheFilter",
+    "StreamingCacheFilter",
     "FilterResult",
     "PAPER_L1_CONFIG",
     "filter_reference_stream",
     "filtered_spec_like_trace",
+    "iter_filtered_spec_like_chunks",
     "RecordKind",
     "tag_addresses",
     "untag_addresses",
     "interleave_round_robin",
     "interleave_weighted",
+    "iter_interleave_round_robin",
+    "iter_interleave_weighted",
     "merge_traces",
     "split_by_core",
 ]

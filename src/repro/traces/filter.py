@@ -14,20 +14,23 @@ exactly the input format of the ATC compressor.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Iterator
 
 import numpy as np
 
 from repro.cache.cache import CacheConfig, CacheStats, SetAssociativeCache
 from repro.errors import ConfigurationError
 from repro.traces.synthetic import ReferenceStream
-from repro.traces.trace import AddressTrace
+from repro.traces.trace import DEFAULT_CHUNK_ADDRESSES, AddressTrace
 
 __all__ = [
     "PAPER_L1_CONFIG",
     "CacheFilter",
+    "StreamingCacheFilter",
     "FilterResult",
     "filter_reference_stream",
     "filtered_spec_like_trace",
+    "iter_filtered_spec_like_chunks",
 ]
 
 #: The paper's filter cache geometry: 32 KB, 4-way, 64-byte blocks, LRU.
@@ -78,15 +81,17 @@ class CacheFilter:
         self.block_bytes = data_config.block_bytes
         self._block_shift = self.block_bytes.bit_length() - 1
 
-    def filter(self, stream: ReferenceStream) -> FilterResult:
-        """Filter one reference stream and return the miss trace and stats.
+    def miss_blocks(self, stream: ReferenceStream) -> np.ndarray:
+        """Filter one reference stream and return its miss-block array.
 
         The instruction and data caches never interact, so the interleaved
         reference stream is split into the two per-cache subsequences, each
         is simulated with the vectorised
         :meth:`~repro.cache.cache.SetAssociativeCache.access_batch` path,
         and the two miss masks are merged back so the filtered trace keeps
-        the original miss order.
+        the original miss order.  Cache state persists across calls, which
+        is what makes chunked filtering byte-identical to one-shot
+        filtering (see :class:`StreamingCacheFilter`).
         """
         addresses = stream.addresses
         is_instruction = stream.is_instruction.astype(bool)
@@ -100,7 +105,11 @@ class CacheFilter:
         if data_positions.size:
             hits = self.data_cache.access_batch(blocks[data_positions])
             miss_mask[data_positions] = ~hits
-        trace = AddressTrace(blocks[miss_mask], name=stream.name)
+        return blocks[miss_mask]
+
+    def filter(self, stream: ReferenceStream) -> FilterResult:
+        """Filter one reference stream and return the miss trace and stats."""
+        trace = AddressTrace(self.miss_blocks(stream), name=stream.name)
         return FilterResult(
             trace=trace,
             instruction_stats=self.instruction_cache.stats,
@@ -158,6 +167,58 @@ class CacheFilter:
         self.data_cache.reset()
 
 
+class StreamingCacheFilter:
+    """Chunked cache filter: reference-stream chunks in, miss chunks out.
+
+    The filter caches carry their state (contents, LRU stamps, counters)
+    across chunks, so for any chunking of a reference stream the
+    concatenated output of :meth:`filter_chunks` is byte-identical to
+    ``CacheFilter().filter(stream).trace.addresses`` on the whole stream —
+    while peak memory stays bounded by the chunk size.
+
+    Typical use::
+
+        filt = StreamingCacheFilter()
+        miss_chunks = filt.filter_chunks(stream.iter_chunks(65536))
+        encoder.encode_stream(miss_chunks)
+    """
+
+    def __init__(
+        self,
+        instruction_config: CacheConfig = PAPER_L1_CONFIG,
+        data_config: CacheConfig = PAPER_L1_CONFIG,
+    ) -> None:
+        self.cache_filter = CacheFilter(instruction_config, data_config)
+
+    def filter_chunk(self, chunk: ReferenceStream) -> np.ndarray:
+        """Filter one chunk, carrying cache state from previous chunks."""
+        return self.cache_filter.miss_blocks(chunk)
+
+    def filter_chunks(self, chunks: Iterable[ReferenceStream]) -> Iterator[np.ndarray]:
+        """Yield the miss-block chunk of every reference-stream chunk.
+
+        A lazy generator: chunks are filtered one at a time as the consumer
+        pulls them, so a whole-trace pipeline never holds more than one
+        reference chunk and its (shorter) miss chunk.
+        """
+        for chunk in chunks:
+            yield self.filter_chunk(chunk)
+
+    @property
+    def instruction_stats(self) -> CacheStats:
+        """Hit/miss counters of the L1 instruction cache so far."""
+        return self.cache_filter.instruction_cache.stats
+
+    @property
+    def data_stats(self) -> CacheStats:
+        """Hit/miss counters of the L1 data cache so far."""
+        return self.cache_filter.data_cache.stats
+
+    def reset(self) -> None:
+        """Reset both filter caches (contents and statistics)."""
+        self.cache_filter.reset()
+
+
 def filter_reference_stream(
     stream: ReferenceStream,
     instruction_config: CacheConfig = PAPER_L1_CONFIG,
@@ -191,3 +252,25 @@ def filtered_spec_like_trace(
 
     stream = generate_reference_stream(name, reference_count, seed=seed)
     return filter_reference_stream(stream, instruction_config, data_config).trace
+
+
+def iter_filtered_spec_like_chunks(
+    name: str,
+    reference_count: int,
+    chunk_addresses: int = DEFAULT_CHUNK_ADDRESSES,
+    seed: int = 0,
+    instruction_config: CacheConfig = PAPER_L1_CONFIG,
+    data_config: CacheConfig = PAPER_L1_CONFIG,
+) -> Iterator[np.ndarray]:
+    """Stream the cache-filtered trace of a spec-like workload in chunks.
+
+    The concatenated chunks are byte-identical to
+    ``filtered_spec_like_trace(name, reference_count, seed).addresses``
+    with the same cache geometry; downstream consumers (ATC encoder,
+    hierarchy replay) see chunk-bounded memory.
+    """
+    from repro.traces.spec_like import get_workload
+
+    streaming_filter = StreamingCacheFilter(instruction_config, data_config)
+    chunks = get_workload(name).iter_chunks(reference_count, chunk_addresses, seed=seed)
+    return streaming_filter.filter_chunks(chunks)

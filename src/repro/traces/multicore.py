@@ -16,6 +16,14 @@ Two interleavings are provided:
   a core with weight 2 injects twice as many references per unit time as a
   core with weight 1 (a crude model of heterogeneous miss rates).
 
+Both exist in two forms: the in-memory ``interleave_*`` functions, which
+take whole per-core arrays and return the merged array, and the streaming
+``iter_interleave_*`` chunk mergers, which take one *chunk stream* per core
+(any iterable of ``uint64`` arrays) and yield merged chunks with peak
+memory bounded by the chunk sizes.  The in-memory functions are thin
+wrappers over the chunk mergers, so the two paths are byte-identical by
+construction.
+
 Core identity is preserved by tagging each address with the core id in the
 spare high bits of the block address (the same spare bits the paper
 suggests for demand/write-back tags), so a merged trace remains a plain
@@ -24,19 +32,25 @@ sequence of 64-bit values that ATC can compress unchanged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Iterable, Iterator, List, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError, TraceFormatError
 from repro.traces.records import TAG_BITS, tag_addresses, untag_addresses
-from repro.traces.trace import AddressTrace, as_address_array
+from repro.traces.trace import (
+    DEFAULT_CHUNK_ADDRESSES,
+    AddressTrace,
+    as_address_array,
+    check_chunk_addresses,
+)
 
 __all__ = [
     "MAX_CORES",
     "interleave_round_robin",
     "interleave_weighted",
+    "iter_interleave_round_robin",
+    "iter_interleave_weighted",
     "split_by_core",
     "merge_traces",
 ]
@@ -59,6 +73,146 @@ def _validate_cores(per_core_traces: Sequence) -> List[np.ndarray]:
     return arrays
 
 
+def _validate_weights(num_cores: int, weights: Sequence[float]) -> List[float]:
+    if len(weights) != num_cores:
+        raise ConfigurationError("one weight per core is required")
+    if any(weight <= 0 for weight in weights):
+        raise ConfigurationError("weights must be positive")
+    return [float(weight) for weight in weights]
+
+
+class _CoreCursor:
+    """Bounded read cursor over one core's chunk stream.
+
+    Holds at most one chunk of the core's trace in memory; ``peek`` refills
+    from the underlying iterator (skipping empty chunks) and reports
+    whether the core still has addresses to emit.
+    """
+
+    def __init__(self, chunks: Iterable[np.ndarray]) -> None:
+        self._chunks = iter(chunks)
+        self._buffer = np.empty(0, dtype=np.uint64)
+        self._position = 0
+        self._exhausted = False
+
+    def peek(self) -> bool:
+        """True when the core has at least one address left."""
+        while self._position >= self._buffer.size:
+            if self._exhausted:
+                return False
+            try:
+                self._buffer = as_address_array(next(self._chunks))
+            except StopIteration:
+                self._exhausted = True
+                return False
+            self._position = 0
+        return True
+
+    def pop(self) -> np.uint64:
+        """Return the core's next address (call :meth:`peek` first)."""
+        value = self._buffer[self._position]
+        self._position += 1
+        return value
+
+
+def iter_interleave_weighted(
+    per_core_chunks: Sequence[Iterable[np.ndarray]],
+    weights: Sequence[float],
+    tag_core_id: bool = True,
+    chunk_addresses: int = DEFAULT_CHUNK_ADDRESSES,
+) -> Iterator[np.ndarray]:
+    """Merge per-core *chunk streams* with per-core injection rates.
+
+    A deterministic deficit-counter schedule is used: at every step each
+    core with remaining addresses earns its weight in credit, and the core
+    with the largest accumulated credit emits its next address and pays the
+    active weight total.  With equal weights this degenerates to
+    round-robin.  Cores that run out of addresses drop out of the rotation;
+    the merged stream contains every input address exactly once.
+
+    Each element of ``per_core_chunks`` is any iterable of ``uint64``
+    arrays (one chunk stream per core).  Merged chunks of
+    ``chunk_addresses`` addresses are yielded as they fill (the last may be
+    shorter); peak memory is one buffered chunk per core plus one output
+    chunk, regardless of trace length.  The concatenated output is
+    byte-identical to :func:`interleave_weighted` on the materialised
+    per-core traces.
+
+    Configuration errors (core count, weights, chunk size) are raised at
+    the call site, before the first chunk is pulled.
+    """
+    num_cores = len(per_core_chunks)
+    if num_cores == 0:
+        raise ConfigurationError("at least one per-core trace is required")
+    if num_cores > MAX_CORES:
+        raise ConfigurationError(f"at most {MAX_CORES} cores are supported")
+    weights = _validate_weights(num_cores, weights)
+    chunk_addresses = check_chunk_addresses(chunk_addresses)
+    return _merge_weighted(per_core_chunks, weights, tag_core_id, chunk_addresses)
+
+
+def _merge_weighted(
+    per_core_chunks: Sequence[Iterable[np.ndarray]],
+    weights: List[float],
+    tag_core_id: bool,
+    chunk_addresses: int,
+) -> Iterator[np.ndarray]:
+    """Generator behind :func:`iter_interleave_weighted` (inputs validated)."""
+    num_cores = len(per_core_chunks)
+    cursors = [_CoreCursor(chunks) for chunks in per_core_chunks]
+    credits = [0.0] * num_cores
+    merged = np.empty(chunk_addresses, dtype=np.uint64)
+    core_ids = np.empty(chunk_addresses, dtype=np.uint64)
+    filled = 0
+    while True:
+        # Weighted round-robin: every unfinished core earns its weight in
+        # credit, the richest core emits and pays the active weight total.
+        best_core = -1
+        active_weight = 0.0
+        for core, cursor in enumerate(cursors):
+            if not cursor.peek():
+                continue
+            credits[core] += weights[core]
+            active_weight += weights[core]
+            if best_core < 0 or credits[core] > credits[best_core]:
+                best_core = core
+        if best_core < 0:
+            break
+        merged[filled] = cursors[best_core].pop()
+        core_ids[filled] = best_core
+        credits[best_core] -= active_weight
+        filled += 1
+        if filled == chunk_addresses:
+            yield _finish_chunk(merged, core_ids, filled, tag_core_id)
+            filled = 0
+    if filled:
+        yield _finish_chunk(merged, core_ids, filled, tag_core_id)
+
+
+def _finish_chunk(
+    merged: np.ndarray, core_ids: np.ndarray, filled: int, tag_core_id: bool
+) -> np.ndarray:
+    """Copy one filled output buffer into an owned, optionally tagged chunk."""
+    chunk = np.array(merged[:filled], dtype=np.uint64, copy=True)
+    if tag_core_id:
+        return tag_addresses(chunk, core_ids[:filled].tolist())
+    return chunk
+
+
+def iter_interleave_round_robin(
+    per_core_chunks: Sequence[Iterable[np.ndarray]],
+    tag_core_id: bool = True,
+    chunk_addresses: int = DEFAULT_CHUNK_ADDRESSES,
+) -> Iterator[np.ndarray]:
+    """Streaming round-robin merge (equal-weight :func:`iter_interleave_weighted`)."""
+    return iter_interleave_weighted(
+        per_core_chunks,
+        weights=[1.0] * len(per_core_chunks),
+        tag_core_id=tag_core_id,
+        chunk_addresses=chunk_addresses,
+    )
+
+
 def interleave_round_robin(per_core_traces: Sequence, tag_core_id: bool = True) -> np.ndarray:
     """Merge per-core block-address traces one reference per core per turn.
 
@@ -79,41 +233,22 @@ def interleave_weighted(
     weights: Sequence[float],
     tag_core_id: bool = True,
 ) -> np.ndarray:
-    """Merge per-core traces with per-core injection rates.
+    """Merge whole per-core traces with per-core injection rates.
 
-    A deterministic deficit-counter schedule is used: at every step the core
-    with the largest accumulated credit (and remaining addresses) emits its
-    next address.  With equal weights this degenerates to round-robin.
+    In-memory wrapper over the :func:`iter_interleave_weighted` chunk
+    merger (each trace is fed as a single chunk), so the two paths produce
+    identical output by construction.
     """
     arrays = _validate_cores(per_core_traces)
-    if len(weights) != len(arrays):
-        raise ConfigurationError("one weight per core is required")
-    if any(weight <= 0 for weight in weights):
-        raise ConfigurationError("weights must be positive")
-    positions = [0] * len(arrays)
-    credits = [0.0] * len(arrays)
-    total = sum(int(array.size) for array in arrays)
-    merged = np.empty(total, dtype=np.uint64)
-    core_ids = np.empty(total, dtype=np.uint64)
-    for slot in range(total):
-        # Weighted round-robin: every unfinished core earns its weight in
-        # credit, the richest core emits and pays the active weight total.
-        best_core = -1
-        active_weight = 0.0
-        for core, array in enumerate(arrays):
-            if positions[core] >= array.size:
-                continue
-            credits[core] += weights[core]
-            active_weight += weights[core]
-            if best_core < 0 or credits[core] > credits[best_core]:
-                best_core = core
-        merged[slot] = arrays[best_core][positions[best_core]]
-        core_ids[slot] = best_core
-        positions[best_core] += 1
-        credits[best_core] -= active_weight
-    if tag_core_id:
-        return tag_addresses(merged, core_ids.tolist())
-    return merged
+    weights = _validate_weights(len(arrays), weights)
+    chunks = list(
+        iter_interleave_weighted([[array] for array in arrays], weights, tag_core_id=tag_core_id)
+    )
+    if not chunks:
+        return np.empty(0, dtype=np.uint64)
+    if len(chunks) == 1:
+        return chunks[0]
+    return np.concatenate(chunks)
 
 
 def split_by_core(merged_trace, num_cores: int) -> List[np.ndarray]:

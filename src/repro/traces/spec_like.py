@@ -63,6 +63,20 @@ class SpecLikeWorkload:
         data = self.build_data(length, seed)
         return make_reference_stream(data, name=self.name, seed=seed + 1)
 
+    def iter_chunks(self, length: int, chunk_addresses: int, seed: int = 0):
+        """Yield the workload's reference stream as fixed-size chunks.
+
+        The chunks are views of the stream :meth:`reference_stream` would
+        return for the same ``length``/``seed``, so consuming them through
+        any streaming stage is byte-identical to the in-memory path.  The
+        synthetic generators are array-based, so generation itself
+        materialises the stream once; the point of this entry is that
+        everything *downstream* (filter, encoder, container) runs with
+        chunk-bounded memory — for truly bounded sources, stream a raw
+        trace file through :func:`repro.traces.trace.iter_raw_chunks`.
+        """
+        return self.reference_stream(length, seed=seed).iter_chunks(chunk_addresses)
+
 
 def _phases(length: int, builders: List[Callable[[int, int], np.ndarray]], seed: int) -> np.ndarray:
     """Split ``length`` across builders and concatenate their outputs."""

@@ -28,12 +28,12 @@ instrumenting "all basic blocks and all instructions accessing memory".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.traces.trace import as_address_array
+from repro.traces.trace import as_address_array, check_chunk_addresses
 
 __all__ = [
     "ReferenceStream",
@@ -90,6 +90,24 @@ class ReferenceStream:
 
     def __len__(self) -> int:
         return int(self.addresses.size)
+
+    def iter_chunks(self, chunk_addresses: int) -> Iterator["ReferenceStream"]:
+        """Yield consecutive fixed-size sub-streams (views, no copies).
+
+        This is the entry of the streaming cache-filter pipeline: filtering
+        the yielded chunks in order through one stateful filter produces a
+        miss trace byte-identical to filtering the whole stream at once
+        (the final chunk may be shorter than ``chunk_addresses``).
+        """
+        chunk_addresses = check_chunk_addresses(chunk_addresses)
+        for start in range(0, len(self), chunk_addresses):
+            stop = start + chunk_addresses
+            yield ReferenceStream(
+                self.addresses[start:stop],
+                self.is_instruction[start:stop],
+                name=self.name,
+                is_write=self.is_write[start:stop],
+            )
 
     @property
     def data_addresses(self) -> np.ndarray:

@@ -26,11 +26,13 @@ from typing import Iterable, Iterator, Sequence, Union
 
 import numpy as np
 
-from repro.errors import TraceFormatError
+from repro.errors import ConfigurationError, TraceFormatError
 
 __all__ = [
     "ADDRESS_BYTES",
     "DEFAULT_BLOCK_BYTES",
+    "DEFAULT_CHUNK_ADDRESSES",
+    "check_chunk_addresses",
     "AddressTrace",
     "as_address_array",
     "block_address",
@@ -38,6 +40,7 @@ __all__ = [
     "read_raw_trace",
     "write_raw_trace",
     "iter_raw_addresses",
+    "iter_raw_chunks",
 ]
 
 #: Size in bytes of one trace record (a 64-bit address).
@@ -46,7 +49,23 @@ ADDRESS_BYTES = 8
 #: Cache block size assumed throughout the paper (64-byte blocks).
 DEFAULT_BLOCK_BYTES = 64
 
+#: Default chunk size (in addresses) of the streaming pipeline stages:
+#: 65536 addresses = 512 KB per chunk, small enough that a dozen in-flight
+#: chunks stay cheap, large enough that per-chunk Python overhead is
+#: negligible.  Defined here (the leaf module of the trace substrate) and
+#: re-exported by :mod:`repro.core.stream` so every ``iter_*``/``*_stream``
+#: API shares one constant.
+DEFAULT_CHUNK_ADDRESSES = 65536
+
 _UINT64 = np.dtype("<u8")
+
+
+def check_chunk_addresses(chunk_addresses: int) -> int:
+    """Validate a streaming chunk-size knob (must be a positive integer)."""
+    chunk_addresses = int(chunk_addresses)
+    if chunk_addresses <= 0:
+        raise ConfigurationError(f"chunk_addresses must be positive, got {chunk_addresses}")
+    return chunk_addresses
 
 
 def as_address_array(addresses: Union[Sequence[int], np.ndarray, Iterable[int]]) -> np.ndarray:
@@ -164,6 +183,18 @@ class AddressTrace:
         for start in range(0, len(self), length):
             yield AddressTrace(self.addresses[start : start + length], name=self.name)
 
+    def iter_chunks(self, chunk_addresses: int) -> Iterator[np.ndarray]:
+        """Yield consecutive fixed-size ``uint64`` array views of the trace.
+
+        This is the bridge into the streaming pipeline: the concatenation
+        of the yielded chunks is byte-identical to ``self.addresses``, so
+        feeding the chunks to any ``*_stream`` consumer produces exactly
+        the same result as feeding the whole array at once.
+        """
+        from repro.core.stream import chunk_array
+
+        return chunk_array(self.addresses, chunk_addresses)
+
     # -- statistics -----------------------------------------------------------------
     def distinct_addresses(self) -> int:
         """Number of distinct addresses (the trace's footprint in blocks)."""
@@ -221,30 +252,60 @@ def read_raw_trace(source, name: str = "") -> AddressTrace:
     return AddressTrace(addresses, name=name)
 
 
-def iter_raw_addresses(source, chunk_addresses: int = 65536) -> Iterator[int]:
-    """Stream addresses from a raw trace without loading it fully in memory.
+def iter_raw_chunks(source, chunk_addresses: int = DEFAULT_CHUNK_ADDRESSES) -> Iterator[np.ndarray]:
+    """Stream fixed-size address chunks from a raw trace file.
 
-    This is the reading loop of the paper's ``bin2atc`` example program
-    (Figure 6): read 8 bytes at a time from a file-like object and yield
-    each 64-bit value.  Reading is chunked for speed.
+    This is the bounded-memory entry of the streaming pipeline: the trace
+    is read ``chunk_addresses`` records at a time (the final chunk may be
+    shorter) and yielded as ``uint64`` arrays, so peak memory is one chunk
+    regardless of the trace length.  The concatenated chunks are
+    byte-identical to :func:`read_raw_trace` of the same source.
+
+    Raises:
+        TraceFormatError: If the stream ends with a partial 64-bit record.
     """
+    chunk_addresses = check_chunk_addresses(chunk_addresses)
     handle = source
     opened = False
     if not hasattr(source, "read"):
         handle = open(os.fspath(source), "rb")
         opened = True
     try:
+        pending = b""
         while True:
             payload = handle.read(chunk_addresses * ADDRESS_BYTES)
             if not payload:
+                if pending:
+                    raise TraceFormatError("raw trace ends with a partial 64-bit record")
                 return
-            if len(payload) % ADDRESS_BYTES:
-                raise TraceFormatError("raw trace ends with a partial 64-bit record")
-            for value in np.frombuffer(payload, dtype=_UINT64):
-                yield int(value)
+            if pending:
+                payload = pending + payload
+                pending = b""
+            usable = len(payload) - (len(payload) % ADDRESS_BYTES)
+            if usable != len(payload):
+                # A short read split a record; keep the fragment for the
+                # next round (pipes may deliver partial records mid-stream).
+                pending = payload[usable:]
+                payload = payload[:usable]
+            if payload:
+                yield np.frombuffer(payload, dtype=_UINT64)
     finally:
         if opened:
             handle.close()
+
+
+def iter_raw_addresses(source, chunk_addresses: int = DEFAULT_CHUNK_ADDRESSES) -> Iterator[int]:
+    """Stream addresses from a raw trace without loading it fully in memory.
+
+    This is the reading loop of the paper's ``bin2atc`` example program
+    (Figure 6): read 8 bytes at a time from a file-like object and yield
+    each 64-bit value.  Reading is chunked for speed (see
+    :func:`iter_raw_chunks` for the bulk variant the streaming pipeline
+    uses).
+    """
+    for chunk in iter_raw_chunks(source, chunk_addresses):
+        for value in chunk:
+            yield int(value)
 
 
 def _ensure_binary_stream(obj) -> io.BufferedIOBase:  # pragma: no cover - helper for CLI

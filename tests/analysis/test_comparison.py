@@ -58,6 +58,7 @@ class TestMissRatioComparison:
         assert without_translation.distinct_ratio < with_translation.distinct_ratio
 
 
+@pytest.mark.slow
 class TestCdcComparison:
     def test_breakdowns_cover_all_addresses(self, stationary_trace):
         config = LossyConfig(interval_length=10_000)

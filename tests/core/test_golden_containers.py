@@ -1,0 +1,156 @@
+"""Golden-file regression suite for the on-disk ATC container format.
+
+Small reference containers — lossless and lossy, for each of the gz/bz2/xz
+back-ends — are committed under ``tests/data/golden/``.  The tests assert
+two directions:
+
+* **encode**: today's encoder, fed the fixed golden input trace, must
+  reproduce every committed container file byte for byte; and
+* **decode**: today's decoder must read the committed containers and
+  produce exactly the expected address sequences.
+
+Together they lock the container layout, the INFO stream, the bytesort
+transform, the interval-record serialisation and the byte-translation
+tables against silent drift: changing a single byte of the on-disk format
+(or of a committed fixture) fails the suite.
+
+The golden input is generated with pure integer arithmetic — no RNG — so
+it is identical on every platform, Python and NumPy version.  To
+regenerate the fixtures after an *intentional* format change::
+
+    PYTHONPATH=src python tests/core/test_golden_containers.py --regen
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.atc import MODE_LOSSLESS, MODE_LOSSY, AtcDecoder, AtcEncoder
+from repro.core.lossy import LossyCodec, LossyConfig
+
+GOLDEN_ROOT = Path(__file__).resolve().parent.parent / "data" / "golden"
+
+#: The back-ends covered by the fixtures (aliases exercise alias lookup too).
+GOLDEN_BACKENDS = ("gz", "bz2", "xz")
+
+#: One fixture per (mode, backend): 2 x 3 = 6 committed containers.
+GOLDEN_VARIANTS = tuple(
+    (mode_name, mode, backend)
+    for mode_name, mode in (("lossless", MODE_LOSSLESS), ("lossy", MODE_LOSSY))
+    for backend in GOLDEN_BACKENDS
+)
+
+_INTERVAL = 500
+
+
+def golden_addresses() -> np.ndarray:
+    """The fixed golden input: 3000 block addresses, RNG-free.
+
+    Six 500-address phases over a 4096-block working set, scrambled with a
+    Knuth multiplicative hash so the distribution is stationary (phases
+    resemble each other, which makes the lossy encoder emit *imitation*
+    records with byte-translation tables — the format's trickiest part).
+    Later phases shift the region base so translations are non-trivial.
+    """
+    pieces = []
+    for phase in range(6):
+        k = np.arange(_INTERVAL, dtype=np.uint64)
+        scrambled = ((k + np.uint64(17 * phase + 1)) * np.uint64(2654435761)) % np.uint64(4096)
+        base = np.uint64(0x40_0000 + (phase // 2) * 0x1_0000)
+        pieces.append(base + scrambled)
+    return np.concatenate(pieces)
+
+
+def golden_config(backend: str) -> LossyConfig:
+    """The fixed codec configuration every golden container was written with."""
+    return LossyConfig(
+        interval_length=_INTERVAL,
+        threshold=0.5,
+        chunk_buffer_addresses=_INTERVAL,
+        backend=backend,
+    )
+
+
+def golden_directory(mode_name: str, backend: str) -> Path:
+    return GOLDEN_ROOT / f"{mode_name}_{backend}"
+
+
+def write_golden_container(directory: Path, mode: str, backend: str) -> None:
+    """Encode the golden input into ``directory`` (used by tests and --regen)."""
+    with AtcEncoder(directory, mode=mode, config=golden_config(backend)) as encoder:
+        encoder.code_many(golden_addresses())
+
+
+def _read_files(directory: Path) -> dict:
+    return {entry.name: entry.read_bytes() for entry in sorted(directory.iterdir())}
+
+
+class TestGoldenContainers:
+    def test_fixtures_are_committed(self):
+        for mode_name, _, backend in GOLDEN_VARIANTS:
+            directory = golden_directory(mode_name, backend)
+            assert directory.is_dir(), (
+                f"missing golden fixture {directory}; regenerate with "
+                "PYTHONPATH=src python tests/core/test_golden_containers.py --regen"
+            )
+
+    def test_encoder_reproduces_golden_containers_byte_for_byte(self, tmp_path):
+        for mode_name, mode, backend in GOLDEN_VARIANTS:
+            fresh = tmp_path / f"{mode_name}_{backend}"
+            write_golden_container(fresh, mode, backend)
+            expected = _read_files(golden_directory(mode_name, backend))
+            actual = _read_files(fresh)
+            assert actual.keys() == expected.keys(), (mode_name, backend)
+            for name in expected:
+                assert actual[name] == expected[name], (
+                    f"{mode_name}_{backend}/{name} drifted from the committed golden bytes"
+                )
+
+    def test_decoder_reads_golden_lossless_containers_exactly(self):
+        for backend in GOLDEN_BACKENDS:
+            decoder = AtcDecoder(golden_directory("lossless", backend))
+            assert not decoder.is_lossy
+            assert np.array_equal(decoder.read_all(), golden_addresses()), backend
+
+    def test_decoder_matches_in_memory_codec_on_golden_lossy_containers(self):
+        for backend in GOLDEN_BACKENDS:
+            decoder = AtcDecoder(golden_directory("lossy", backend))
+            assert decoder.is_lossy
+            codec = LossyCodec(golden_config(backend))
+            expected = codec.decompress(codec.compress(golden_addresses()))
+            assert np.array_equal(decoder.read_all(), expected), backend
+
+    def test_golden_lossy_containers_exercise_imitation_records(self):
+        """The fixtures must cover the imitate-record layout, not just chunks."""
+        for backend in GOLDEN_BACKENDS:
+            decoder = AtcDecoder(golden_directory("lossy", backend))
+            kinds = {record.kind for record in decoder.records}
+            assert kinds == {"chunk", "imitate"}, backend
+
+    def test_golden_metadata_is_stable(self):
+        for mode_name, _, backend in GOLDEN_VARIANTS:
+            decoder = AtcDecoder(golden_directory(mode_name, backend))
+            assert decoder.metadata["format"] == "atc"
+            assert decoder.metadata["format_version"] == 1
+            assert decoder.metadata["mode"] == mode_name
+            assert decoder.metadata["original_length"] == golden_addresses().size
+
+
+def _regenerate() -> None:
+    for mode_name, mode, backend in GOLDEN_VARIANTS:
+        directory = golden_directory(mode_name, backend)
+        if directory.exists():
+            shutil.rmtree(directory)
+        write_golden_container(directory, mode, backend)
+        print(f"wrote {directory}")
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

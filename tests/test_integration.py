@@ -21,6 +21,10 @@ from repro.core.lossy import LossyCodec, LossyConfig
 from repro.predictors.vpc import VpcCodec
 from repro.traces.filter import filtered_spec_like_trace
 
+# End-to-end pipeline runs are the slowest cases in the suite; the CI fast
+# lane deselects them with -m "not slow" while tier-1 runs everything.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def small_filtered_traces():

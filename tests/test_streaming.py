@@ -1,0 +1,279 @@
+"""Streaming-vs-in-memory equivalence tests.
+
+The streaming pipeline's hard invariant is byte-identity: for every stage
+(chunk plumbing, cache filter, ATC encoder, decoder, hierarchy replay,
+multicore merger) and for every chunk size and worker count, the
+concatenated streaming output must equal the in-memory output exactly.
+These tests pin that invariant for chunk sizes 1 (every boundary between
+consecutive addresses), 7 (never aligned with any internal buffer) and
+4096 (larger than most test traces' natural pieces).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.cache import CacheConfig
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.atc import (
+    MODE_LOSSLESS,
+    MODE_LOSSY,
+    AtcDecoder,
+    compress_stream,
+    compress_trace,
+    decompress_stream,
+)
+from repro.core.lossy import LossyConfig
+from repro.core.stream import chunk_array, concat_chunks, count_addresses, rechunk
+from repro.errors import ConfigurationError
+from repro.traces.filter import CacheFilter, StreamingCacheFilter, iter_filtered_spec_like_chunks
+from repro.traces.spec_like import get_workload
+from repro.traces.trace import iter_raw_chunks, read_raw_trace, write_raw_trace
+
+CHUNK_SIZES = (1, 7, 4096)
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _container_files(directory) -> dict:
+    return {entry.name: entry.read_bytes() for entry in sorted(directory.iterdir())}
+
+
+@pytest.fixture(scope="module")
+def reference_stream():
+    """A small mcf-like reference stream shared by the filter tests."""
+    return get_workload("429.mcf").reference_stream(6_000, seed=3)
+
+
+@pytest.fixture(scope="module")
+def filtered_addresses(reference_stream):
+    """The one-shot filtered trace of the shared reference stream."""
+    return CacheFilter().filter(reference_stream).trace.addresses
+
+
+class TestChunkPlumbing:
+    def test_chunk_array_concat_roundtrip(self):
+        array = np.arange(1000, dtype=np.uint64)
+        for size in CHUNK_SIZES:
+            assert np.array_equal(concat_chunks(chunk_array(array, size)), array)
+
+    def test_rechunk_produces_fixed_sizes(self):
+        pieces = [np.arange(n, dtype=np.uint64) for n in (0, 3, 500, 1, 0, 97)]
+        flat = concat_chunks(pieces)
+        for size in CHUNK_SIZES:
+            out = list(rechunk(iter(pieces), size))
+            assert np.array_equal(concat_chunks(out), flat)
+            assert all(int(chunk.size) == size for chunk in out[:-1])
+            assert 0 < int(out[-1].size) <= size
+
+    def test_rechunk_chunks_own_their_memory(self):
+        """Re-chunked output must survive the producer reusing its buffer."""
+        buffer = np.zeros(10, dtype=np.uint64)
+
+        def producer():
+            for value in range(5):
+                buffer[:] = value
+                yield buffer
+
+        out = list(rechunk(producer(), 7))
+        expected = np.repeat(np.arange(5, dtype=np.uint64), 10)
+        assert np.array_equal(concat_chunks(out), expected)
+
+    def test_count_addresses_drains_into_sink(self):
+        seen = []
+        total = count_addresses(chunk_array(np.arange(100, dtype=np.uint64), 7), seen.append)
+        assert total == 100
+        assert np.array_equal(concat_chunks(seen), np.arange(100, dtype=np.uint64))
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(chunk_array(np.arange(4, dtype=np.uint64), 0))
+        with pytest.raises(ConfigurationError):
+            list(rechunk([np.arange(4, dtype=np.uint64)], -1))
+
+
+class TestStreamingFilterEquivalence:
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    def test_filter_chunks_match_one_shot(self, reference_stream, filtered_addresses, chunk_size):
+        streaming = StreamingCacheFilter()
+        chunks = streaming.filter_chunks(reference_stream.iter_chunks(chunk_size))
+        assert np.array_equal(concat_chunks(chunks), filtered_addresses)
+
+    def test_streaming_stats_match_one_shot(self, reference_stream):
+        one_shot = CacheFilter().filter(reference_stream)
+        streaming = StreamingCacheFilter()
+        for _ in streaming.filter_chunks(reference_stream.iter_chunks(97)):
+            pass
+        assert streaming.instruction_stats == one_shot.instruction_stats
+        assert streaming.data_stats == one_shot.data_stats
+
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    def test_spec_like_chunk_stream_matches_filtered_trace(self, chunk_size):
+        from repro.traces.filter import filtered_spec_like_trace
+
+        expected = filtered_spec_like_trace("462.libquantum", 5_000, seed=1).addresses
+        chunks = iter_filtered_spec_like_chunks("462.libquantum", 5_000, chunk_size, seed=1)
+        assert np.array_equal(concat_chunks(chunks), expected)
+
+
+class TestStreamingEncoderEquivalence:
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_lossless_container_byte_identical(
+        self, tmp_path, filtered_addresses, chunk_size, workers
+    ):
+        config = LossyConfig(chunk_buffer_addresses=500, backend="zlib", workers=workers)
+        reference = tmp_path / "in-memory"
+        compress_trace(filtered_addresses, reference, mode=MODE_LOSSLESS, config=config)
+        streamed = tmp_path / f"stream-{chunk_size}-{workers}"
+        compress_stream(
+            chunk_array(filtered_addresses, chunk_size), streamed, mode=MODE_LOSSLESS, config=config
+        )
+        assert _container_files(streamed) == _container_files(reference)
+
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    def test_lossy_container_byte_identical(self, tmp_path, filtered_addresses, chunk_size):
+        config = LossyConfig(
+            interval_length=700, chunk_buffer_addresses=700, backend="zlib", threshold=0.4
+        )
+        reference = tmp_path / "in-memory"
+        compress_trace(filtered_addresses, reference, mode=MODE_LOSSY, config=config)
+        streamed = tmp_path / f"stream-{chunk_size}"
+        compress_stream(
+            chunk_array(filtered_addresses, chunk_size), streamed, mode=MODE_LOSSY, config=config
+        )
+        assert _container_files(streamed) == _container_files(reference)
+
+
+class TestStreamingDecoderEquivalence:
+    @pytest.fixture(scope="class")
+    def lossy_container(self, tmp_path_factory, filtered_addresses):
+        directory = tmp_path_factory.mktemp("stream-decode") / "container"
+        config = LossyConfig(
+            interval_length=700, chunk_buffer_addresses=700, backend="zlib", threshold=0.4
+        )
+        compress_trace(filtered_addresses, directory, mode=MODE_LOSSY, config=config)
+        return directory
+
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_iter_chunks_matches_read_all(self, lossy_container, chunk_size, workers):
+        expected = AtcDecoder(lossy_container).read_all()
+        decoder = AtcDecoder(lossy_container, workers=workers)
+        chunks = list(decoder.iter_chunks(chunk_size))
+        assert np.array_equal(concat_chunks(chunks), expected)
+        assert all(int(chunk.size) == chunk_size for chunk in chunks[:-1])
+
+    def test_decompress_stream_helper(self, lossy_container):
+        expected = AtcDecoder(lossy_container).read_all()
+        assert np.array_equal(concat_chunks(decompress_stream(lossy_container, 97)), expected)
+
+    def test_iter_chunks_detects_truncated_container(self, tmp_path, filtered_addresses):
+        """Like read_all, the chunk stream must not end short silently."""
+        from repro.errors import CodecError
+
+        directory = tmp_path / "container"
+        config = LossyConfig(chunk_buffer_addresses=500, backend="zlib")
+        compress_trace(filtered_addresses, directory, mode=MODE_LOSSLESS, config=config)
+        decoder = AtcDecoder(directory)
+        # Corrupt the metadata so the records decode to fewer addresses
+        # than INFO claims (a truncated-container stand-in).
+        decoder.metadata = dict(decoder.metadata, original_length=len(filtered_addresses) + 1)
+        with pytest.raises(CodecError):
+            for _ in decoder.iter_chunks(97):
+                pass
+
+
+class TestStreamingHierarchyEquivalence:
+    CONFIGS = [
+        CacheConfig(num_sets=16, associativity=2, name="L1"),
+        CacheConfig(num_sets=64, associativity=4, name="L2"),
+    ]
+
+    @pytest.fixture(scope="class")
+    def blocks(self):
+        rng = np.random.default_rng(42)
+        return rng.integers(0, 2_000, size=5_000, dtype=np.uint64)
+
+    @pytest.fixture(scope="class")
+    def serial_misses(self, blocks):
+        """Reference behaviour: the per-access serial loop."""
+        hierarchy = CacheHierarchy(self.CONFIGS)
+        misses = [int(b) for b in blocks.tolist() if not hierarchy.access_block(int(b))]
+        return np.array(misses, dtype=np.uint64), hierarchy.stats()
+
+    def test_batch_miss_stream_matches_serial(self, blocks, serial_misses):
+        expected, expected_stats = serial_misses
+        hierarchy = CacheHierarchy(self.CONFIGS)
+        assert np.array_equal(hierarchy.miss_stream(blocks), expected)
+        assert hierarchy.stats() == expected_stats
+
+    @pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+    def test_miss_stream_chunks_match_serial(self, blocks, serial_misses, chunk_size):
+        expected, expected_stats = serial_misses
+        hierarchy = CacheHierarchy(self.CONFIGS)
+        chunks = hierarchy.miss_stream_chunks(chunk_array(blocks, chunk_size))
+        assert np.array_equal(concat_chunks(chunks), expected)
+        assert hierarchy.stats() == expected_stats
+
+
+class TestRawFileChunkStreaming:
+    def test_iter_raw_chunks_matches_read_raw_trace(self, tmp_path):
+        values = np.arange(10_000, dtype=np.uint64) * np.uint64(3)
+        path = tmp_path / "trace.bin"
+        write_raw_trace(values, path)
+        for chunk_size in CHUNK_SIZES:
+            chunks = list(iter_raw_chunks(path, chunk_size))
+            assert np.array_equal(concat_chunks(chunks), read_raw_trace(path).addresses)
+            assert all(int(chunk.size) == chunk_size for chunk in chunks[:-1])
+
+    def test_partial_tail_raises_after_full_records(self, tmp_path):
+        from repro.errors import TraceFormatError
+
+        path = tmp_path / "trace.bin"
+        path.write_bytes(np.arange(5, dtype=np.uint64).tobytes() + b"\x01\x02\x03")
+        produced = []
+        with pytest.raises(TraceFormatError):
+            for chunk in iter_raw_chunks(path, 2):
+                produced.append(chunk)
+        assert np.array_equal(concat_chunks(produced), np.arange(5, dtype=np.uint64))
+
+    def test_mid_stream_short_reads_are_reassembled(self):
+        """A pipe-like source may split records across read() calls."""
+
+        class DribbleReader:
+            def __init__(self, payload):
+                self.payload = payload
+                self.offset = 0
+
+            def read(self, size):
+                # Return 3 bytes at a time, never a whole record.
+                piece = self.payload[self.offset : self.offset + 3]
+                self.offset += len(piece)
+                return piece
+
+        values = np.arange(100, dtype=np.uint64)
+        chunks = list(iter_raw_chunks(DribbleReader(values.tobytes()), 8))
+        assert np.array_equal(concat_chunks(chunks), values)
+
+
+class TestHarnessStreamingEntryPoints:
+    def test_stream_trace_matches_cached_trace(self):
+        from repro.analysis.harness import EvaluationHarness, EvaluationScale
+
+        harness = EvaluationHarness(EvaluationScale(references_per_workload=5_000))
+        expected = harness.trace("429.mcf").addresses
+        assert np.array_equal(concat_chunks(harness.stream_trace("429.mcf", 97)), expected)
+
+    def test_compress_workload_matches_in_memory_pipeline(self, tmp_path):
+        from repro.analysis.harness import EvaluationHarness, EvaluationScale
+
+        harness = EvaluationHarness(EvaluationScale(references_per_workload=5_000))
+        config = LossyConfig(chunk_buffer_addresses=500, backend="zlib")
+        streamed = tmp_path / "streamed"
+        decoder = harness.compress_workload("429.mcf", streamed, mode="c", config=config)
+        assert np.array_equal(decoder.read_all(), harness.trace("429.mcf").addresses)
+        reference = tmp_path / "reference"
+        compress_trace(harness.trace("429.mcf").addresses, reference, mode="c", config=config)
+        assert _container_files(streamed) == _container_files(reference)

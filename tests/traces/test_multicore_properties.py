@@ -1,0 +1,157 @@
+"""Hypothesis property tests for multi-core trace interleaving.
+
+The invariants the multicore substrate must hold for *arbitrary* inputs:
+
+* ``split_by_core(interleave_*(traces))`` recovers every per-core trace
+  exactly — for any number of cores (including one), any weights, any
+  lengths (including empty cores and all-empty inputs);
+* the merged trace is a permutation-by-interleaving: it contains every
+  input address exactly once and preserves each core's internal order;
+* the streaming chunk mergers are byte-identical to the in-memory
+  functions for every chunking of the inputs and of the output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stream import chunk_array, concat_chunks
+from repro.traces.multicore import (
+    interleave_round_robin,
+    interleave_weighted,
+    iter_interleave_round_robin,
+    iter_interleave_weighted,
+    split_by_core,
+)
+
+# Addresses must leave the spare tag bits free (58-bit block addresses).
+_address = st.integers(min_value=0, max_value=(1 << 58) - 1)
+
+_core_trace = st.lists(_address, min_size=0, max_size=60)
+
+_cores = st.lists(_core_trace, min_size=1, max_size=5)
+
+_weight = st.floats(min_value=0.125, max_value=16.0, allow_nan=False, allow_infinity=False)
+
+
+def _as_arrays(cores):
+    return [np.array(core, dtype=np.uint64) for core in cores]
+
+
+def _with_weights(draw):
+    cores = draw(_cores)
+    weights = draw(
+        st.lists(_weight, min_size=len(cores), max_size=len(cores))
+    )
+    return _as_arrays(cores), weights
+
+
+_cores_and_weights = st.composite(_with_weights)()
+
+
+class TestSplitRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(_cores)
+    def test_round_robin_roundtrips_per_core_traces(self, cores):
+        arrays = _as_arrays(cores)
+        merged = interleave_round_robin(arrays)
+        recovered = split_by_core(merged, num_cores=len(arrays))
+        assert len(recovered) == len(arrays)
+        for original, back in zip(arrays, recovered):
+            assert np.array_equal(back, original)
+
+    @settings(max_examples=60, deadline=None)
+    @given(_cores_and_weights)
+    def test_weighted_roundtrips_per_core_traces(self, cores_and_weights):
+        arrays, weights = cores_and_weights
+        merged = interleave_weighted(arrays, weights=weights)
+        recovered = split_by_core(merged, num_cores=len(arrays))
+        for original, back in zip(arrays, recovered):
+            assert np.array_equal(back, original)
+
+    @settings(max_examples=30, deadline=None)
+    @given(_core_trace)
+    def test_single_core_is_identity(self, core):
+        array = np.array(core, dtype=np.uint64)
+        merged = interleave_round_robin([array], tag_core_id=False)
+        assert np.array_equal(merged, array)
+        (recovered,) = split_by_core(interleave_round_robin([array]), num_cores=1)
+        assert np.array_equal(recovered, array)
+
+    def test_all_cores_empty(self):
+        arrays = [np.empty(0, dtype=np.uint64)] * 3
+        merged = interleave_weighted(arrays, weights=[1.0, 2.0, 3.0])
+        assert merged.size == 0
+        assert all(part.size == 0 for part in split_by_core(merged, num_cores=3))
+
+
+class TestMergeIsAnInterleaving:
+    @settings(max_examples=60, deadline=None)
+    @given(_cores_and_weights)
+    def test_merged_is_multiset_union(self, cores_and_weights):
+        arrays, weights = cores_and_weights
+        merged = interleave_weighted(arrays, weights=weights, tag_core_id=False)
+        expected = np.sort(np.concatenate(arrays)) if arrays else merged
+        assert np.array_equal(np.sort(merged), expected)
+
+    @settings(max_examples=60, deadline=None)
+    @given(_cores_and_weights)
+    def test_per_core_order_preserved(self, cores_and_weights):
+        arrays, weights = cores_and_weights
+        merged = interleave_weighted(arrays, weights=weights)
+        recovered = split_by_core(merged, num_cores=len(arrays))
+        # split_by_core preserves merged order, so equality with the input
+        # (checked elsewhere) plus this length check implies order survival;
+        # assert it directly for clarity.
+        for original, back in zip(arrays, recovered):
+            assert back.tolist() == original.tolist()
+
+
+class TestStreamingMergerEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(_cores_and_weights, st.integers(min_value=1, max_value=64))
+    def test_chunked_inputs_and_outputs_match_in_memory(self, cores_and_weights, chunk):
+        arrays, weights = cores_and_weights
+        expected = interleave_weighted(arrays, weights=weights)
+        streamed = concat_chunks(
+            iter_interleave_weighted(
+                [chunk_array(array, chunk) for array in arrays],
+                weights,
+                chunk_addresses=chunk,
+            )
+        )
+        assert np.array_equal(streamed, expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(_cores, st.integers(min_value=1, max_value=64))
+    def test_round_robin_chunk_merger_matches_in_memory(self, cores, chunk):
+        arrays = _as_arrays(cores)
+        expected = interleave_round_robin(arrays, tag_core_id=False)
+        streamed = concat_chunks(
+            iter_interleave_round_robin(
+                [chunk_array(array, chunk) for array in arrays],
+                tag_core_id=False,
+                chunk_addresses=chunk,
+            )
+        )
+        assert np.array_equal(streamed, expected)
+
+    @settings(max_examples=20, deadline=None)
+    @given(_cores_and_weights)
+    def test_empty_input_chunks_are_absorbed(self, cores_and_weights):
+        arrays, weights = cores_and_weights
+        expected = interleave_weighted(arrays, weights=weights)
+        empty = np.empty(0, dtype=np.uint64)
+
+        def with_empties(array):
+            yield empty
+            for piece in chunk_array(array, 3):
+                yield piece
+                yield empty
+
+        streamed = concat_chunks(
+            iter_interleave_weighted([with_empties(a) for a in arrays], weights)
+        )
+        assert np.array_equal(streamed, expected)
