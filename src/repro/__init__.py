@@ -19,6 +19,20 @@ Quick tour of the public API (see the package README for a walkthrough):
 * :mod:`repro.baselines` — bzip2-alone, byte-unshuffling and delta baselines.
 * :mod:`repro.analysis` — metrics, exact-vs-lossy comparison pipelines and
   text-table reporting.
+* :mod:`repro.experiments` — declarative experiment orchestration: TOML/JSON
+  sweep specs, content-hash result caching, parallel execution and typed
+  report tables (the ``repro sweep`` CLI).
+
+The full documentation site lives under ``docs/`` (architecture overview,
+paper-to-code map, the ATC container format specification and the sweep
+spec reference).
+
+Example:
+    >>> import numpy as np, repro
+    >>> trace = np.arange(3000, dtype=np.uint64) % 500
+    >>> payload = repro.lossless_compress(trace, buffer_addresses=1000)
+    >>> bool(np.array_equal(repro.lossless_decompress(payload), trace))
+    True
 """
 
 from repro.core.atc import (
@@ -49,7 +63,19 @@ from repro.traces.filter import CacheFilter, StreamingCacheFilter, filtered_spec
 from repro.traces.spec_like import SPEC_LIKE_NAMES, spec_like_suite
 from repro.traces.trace import AddressTrace, iter_raw_chunks, read_raw_trace, write_raw_trace
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
+
+# The experiments subsystem imports the trace/codec layers above, so its
+# re-exports come last to keep the import order acyclic.
+from repro.experiments import (
+    CodecSpec,
+    FilterSpec,
+    SweepRunner,
+    SweepSpec,
+    WorkloadSpec,
+    load_sweep_spec,
+    run_sweep,
+)
 
 __all__ = [
     "__version__",
@@ -83,6 +109,14 @@ __all__ = [
     "filtered_spec_like_trace",
     "spec_like_suite",
     "SPEC_LIKE_NAMES",
+    # experiments
+    "SweepSpec",
+    "WorkloadSpec",
+    "FilterSpec",
+    "CodecSpec",
+    "SweepRunner",
+    "load_sweep_spec",
+    "run_sweep",
     # errors
     "ReproError",
     "TraceFormatError",

@@ -4,25 +4,27 @@ The benchmark modules under ``benchmarks/`` regenerate the paper's tables
 and figures through pytest.  This module exposes the same experiments as
 plain functions returning structured results, so they can be scripted
 (``examples/full_evaluation.py``), embedded in notebooks, or re-run at a
-different scale without going through the test runner.  Each runner mirrors
-one bench module; the bench modules stay the source of truth for the
-assertions, the harness is the convenience layer.
+different scale without going through the test runner.
+
+Since the introduction of :mod:`repro.experiments`, the harness is a thin
+convenience layer **over the declarative sweep subsystem**: every table
+cell is measured by :func:`repro.experiments.codecs.evaluate_codec` on
+:class:`~repro.experiments.spec.CodecSpec` cells, which is exactly what a
+``repro sweep run`` evaluates — so the hand-driven tables and a spec-driven
+sweep agree number for number, by construction.  :meth:`EvaluationHarness.
+sweep_spec` returns the equivalent declarative spec for any table.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
-
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.comparison import LossyFidelityResult, compare_cdc_breakdowns, compare_miss_ratio_surfaces
-from repro.analysis.metrics import arithmetic_mean, bits_per_address
+from repro.analysis.metrics import arithmetic_mean
 from repro.analysis.reporting import render_table
-from repro.baselines.generic import raw_bits_per_address
-from repro.baselines.unshuffle import unshuffled_bits_per_address
-from repro.core.lossless import lossless_bits_per_address
-from repro.core.lossy import LossyCodec, LossyConfig
-from repro.predictors.vpc import VpcCodec
+from repro.experiments.codecs import evaluate_codec
+from repro.experiments.spec import CodecSpec, EvaluationScale, SweepSpec, WorkloadSpec
 from repro.traces.filter import filtered_spec_like_trace
 from repro.traces.spec_like import SPEC_LIKE_NAMES
 from repro.traces.trace import DEFAULT_CHUNK_ADDRESSES, AddressTrace
@@ -30,36 +32,25 @@ from repro.traces.trace import DEFAULT_CHUNK_ADDRESSES, AddressTrace
 __all__ = ["EvaluationScale", "EvaluationHarness", "LosslessComparison", "LossyComparison"]
 
 
-@dataclass(frozen=True)
-class EvaluationScale:
-    """Scale knobs shared by every experiment (see benchmarks/conftest.py).
+def _table1_codecs(scale: EvaluationScale, include_vpc: bool = True) -> Tuple[CodecSpec, ...]:
+    """The Table 1 codec cells, in column order."""
+    codecs = [
+        CodecSpec(kind="raw", label="bz2"),
+        CodecSpec(kind="unshuffle", label="us", buffer_addresses=scale.small_buffer),
+    ]
+    if include_vpc:
+        codecs.append(CodecSpec(kind="vpc", label="tcg"))
+    codecs.append(CodecSpec(kind="lossless", label="bs-small", buffer_addresses=scale.small_buffer))
+    codecs.append(CodecSpec(kind="lossless", label="bs-big", buffer_addresses=scale.big_buffer))
+    return tuple(codecs)
 
-    Attributes:
-        references_per_workload: References generated before cache filtering.
-        small_buffer: Bytesort buffer standing in for the paper's 1 M.
-        big_buffer: Bytesort buffer standing in for the paper's 10 M.
-        interval_length: Lossy interval length standing in for 10 M.
-        threshold: Lossy threshold (paper: 0.1).
-        set_counts: Cache set counts for the miss-ratio sweeps.
-        seed: Workload generation seed.
-    """
 
-    references_per_workload: int = 30_000
-    small_buffer: int = 4_000
-    big_buffer: int = 64_000
-    interval_length: int = 5_000
-    threshold: float = 0.1
-    set_counts: Sequence[int] = (64, 256, 1024)
-    seed: int = 0
-
-    def lossy_config(self, enable_translation: bool = True) -> LossyConfig:
-        """The lossy configuration implied by the scale."""
-        return LossyConfig(
-            interval_length=self.interval_length,
-            threshold=self.threshold,
-            chunk_buffer_addresses=self.small_buffer,
-            enable_translation=enable_translation,
-        )
+def _table3_codecs(scale: EvaluationScale) -> Tuple[CodecSpec, ...]:
+    """The Table 3 codec cells (lossless vs lossy), in column order."""
+    return (
+        CodecSpec(kind="lossless", label="lossless", buffer_addresses=scale.small_buffer),
+        CodecSpec(kind="lossy", label="lossy"),
+    )
 
 
 @dataclass(frozen=True)
@@ -84,7 +75,9 @@ class EvaluationHarness:
     """Regenerates the paper's experiments programmatically.
 
     Traces are generated lazily and cached, so running several experiments
-    over the same workload set only pays the filtering cost once.
+    over the same workload set only pays the filtering cost once.  Table
+    cells are measured through :func:`repro.experiments.codecs.
+    evaluate_codec`, the same code path as a declarative ``repro sweep``.
     """
 
     def __init__(self, scale: EvaluationScale = EvaluationScale(), workloads: Optional[Sequence[str]] = None) -> None:
@@ -124,7 +117,7 @@ class EvaluationHarness:
         name: str,
         directory,
         mode: str = "c",
-        config: Optional[LossyConfig] = None,
+        config=None,
         chunk_addresses: int = DEFAULT_CHUNK_ADDRESSES,
     ):
         """Filter one workload and compress it straight into a container.
@@ -152,23 +145,101 @@ class EvaluationHarness:
                 result[name] = trace
         return result
 
+    # -- declarative bridge ------------------------------------------------------------
+    def sweep_spec(self, table: str = "table1", name: str = "", apply_length_guard: bool = True) -> SweepSpec:
+        """The declarative :class:`~repro.experiments.spec.SweepSpec`
+        equivalent to one of the harness tables.
+
+        Args:
+            table: ``"table1"`` (lossless comparison columns) or
+                ``"table3"`` (lossless vs lossy).
+            name: Sweep name; defaults to ``harness-<table>``.
+            apply_length_guard: Restrict the workload axis to traces long
+                enough for the table, exactly like the comparison methods
+                do (Table 1 skips traces under 1 000 addresses, Table 3
+                traces under two lossy intervals).  This generates the
+                filtered traces (cached on the harness); pass ``False`` to
+                build the spec without touching traces and keep every
+                workload.
+
+        Running the returned spec through
+        :class:`~repro.experiments.runner.SweepRunner` reproduces the same
+        bits-per-address grid — same rows, same columns, same numbers — as
+        the corresponding comparison method.
+        """
+        from repro.errors import ConfigurationError
+
+        if table == "table1":
+            codecs = _table1_codecs(self.scale)
+            minimum_length = 1_000
+        elif table == "table3":
+            codecs = _table3_codecs(self.scale)
+            minimum_length = 2 * self.scale.interval_length
+        else:
+            raise ConfigurationError(f"unknown harness table {table!r} (use 'table1' or 'table3')")
+        workloads = tuple(self.traces(minimum_length)) if apply_length_guard else self.workloads
+        if not workloads:
+            raise ConfigurationError(
+                f"no workload trace is long enough for {table} at this scale "
+                f"(minimum {minimum_length} filtered addresses)"
+            )
+        return SweepSpec(
+            name=name or f"harness-{table}",
+            workloads=tuple(WorkloadSpec(name=w) for w in workloads),
+            codecs=codecs,
+            scale=self.scale,
+        )
+
+    def trace_provider(self):
+        """A ``SweepRunner`` trace provider backed by this harness's cache.
+
+        Pass the returned callable as
+        :class:`~repro.experiments.runner.SweepRunner`'s ``trace_provider``
+        when running a spec built by :meth:`sweep_spec`: cells that use the
+        paper's L1 geometry at the harness scale are served from the
+        harness's per-workload trace cache instead of regenerating and
+        re-filtering the workload.  Any other cell returns ``None`` and the
+        runner generates as usual.
+        """
+        from repro.traces.filter import PAPER_L1_CONFIG
+
+        def provide(workload: WorkloadSpec, filter_spec):
+            config = filter_spec.cache_config()
+            same_geometry = (
+                config.num_sets == PAPER_L1_CONFIG.num_sets
+                and config.associativity == PAPER_L1_CONFIG.associativity
+                and config.block_bytes == PAPER_L1_CONFIG.block_bytes
+                and config.policy == PAPER_L1_CONFIG.policy
+            )
+            same_scale = (
+                workload.references == self.scale.references_per_workload
+                and workload.seed == self.scale.seed
+            )
+            if not (same_geometry and same_scale) or workload.name not in self.workloads:
+                return None
+            return self.trace(workload.name).addresses
+
+        return provide
+
+    def _comparison_rows(
+        self, codecs: Sequence[CodecSpec], minimum_length: int
+    ) -> Dict[str, Dict[str, float]]:
+        """One bits-per-address row per (long enough) workload trace."""
+        rows: Dict[str, Dict[str, float]] = {}
+        for name, trace in self.traces(minimum_length).items():
+            addresses = trace.addresses
+            rows[name] = {
+                codec.name: evaluate_codec(codec, addresses, self.scale)["bits_per_address"]
+                for codec in codecs
+            }
+        return rows
+
     # -- Table 1 -----------------------------------------------------------------------
     def lossless_comparison(self, include_vpc: bool = True) -> LosslessComparison:
         """Table 1: bits per address of the lossless compressors."""
-        columns = ["bz2", "us"] + (["tcg"] if include_vpc else []) + ["bs-small", "bs-big"]
-        rows: Dict[str, Dict[str, float]] = {}
-        for name, trace in self.traces().items():
-            addresses = trace.addresses
-            row = {
-                "bz2": raw_bits_per_address(addresses),
-                "us": unshuffled_bits_per_address(addresses, buffer_addresses=self.scale.small_buffer),
-                "bs-small": lossless_bits_per_address(addresses, buffer_addresses=self.scale.small_buffer),
-                "bs-big": lossless_bits_per_address(addresses, buffer_addresses=self.scale.big_buffer),
-            }
-            if include_vpc:
-                payload = VpcCodec().compress(addresses)
-                row["tcg"] = bits_per_address(len(payload), len(addresses))
-            rows[name] = row
+        codecs = _table1_codecs(self.scale, include_vpc)
+        columns = [codec.name for codec in codecs]
+        rows = self._comparison_rows(codecs, minimum_length=1_000)
         means = {column: arithmetic_mean([row[column] for row in rows.values()]) for column in columns}
         text = render_table("Table 1: lossless bits per address", rows, columns)
         return LosslessComparison(rows=rows, means=means, text=text)
@@ -176,16 +247,9 @@ class EvaluationHarness:
     # -- Table 3 -----------------------------------------------------------------------
     def lossy_comparison(self) -> LossyComparison:
         """Table 3: lossless vs lossy bits per address."""
-        codec = LossyCodec(self.scale.lossy_config())
-        rows: Dict[str, Dict[str, float]] = {}
-        for name, trace in self.traces(minimum_length=2 * self.scale.interval_length).items():
-            addresses = trace.addresses
-            compressed = codec.compress(addresses)
-            rows[name] = {
-                "lossless": lossless_bits_per_address(addresses, buffer_addresses=self.scale.small_buffer),
-                "lossy": compressed.bits_per_address(),
-            }
-        columns = ["lossless", "lossy"]
+        codecs = _table3_codecs(self.scale)
+        columns = [codec.name for codec in codecs]
+        rows = self._comparison_rows(codecs, minimum_length=2 * self.scale.interval_length)
         means = {column: arithmetic_mean([row[column] for row in rows.values()]) for column in columns}
         text = render_table("Table 3: lossless vs lossy bits per address", rows, columns)
         return LossyComparison(rows=rows, means=means, text=text)

@@ -38,21 +38,36 @@ __all__ = [
 
 
 def bits_per_address(compressed_size_bytes: int, address_count: int) -> float:
-    """Compressed bits divided by the number of trace addresses."""
+    """Compressed bits divided by the number of trace addresses.
+
+    Example:
+        >>> bits_per_address(1000, 4000)     # 1000 bytes for 4000 addresses
+        2.0
+    """
     if address_count <= 0:
         return 0.0
     return 8.0 * compressed_size_bytes / address_count
 
 
 def compression_ratio(compressed_size_bytes: int, address_count: int) -> float:
-    """Uncompressed size (8 bytes per address) over compressed size."""
+    """Uncompressed size (8 bytes per address) over compressed size.
+
+    Example:
+        >>> compression_ratio(1000, 4000)    # 32000 raw bytes in 1000
+        32.0
+    """
     if compressed_size_bytes <= 0:
         return float("inf") if address_count else 0.0
     return (address_count * ADDRESS_BYTES) / compressed_size_bytes
 
 
 def arithmetic_mean(values: Sequence[float]) -> float:
-    """Arithmetic mean (the aggregation used by Table 1 and Table 3)."""
+    """Arithmetic mean (the aggregation used by Table 1 and Table 3).
+
+    Example:
+        >>> arithmetic_mean([1.0, 2.0, 3.0])
+        2.0
+    """
     values = list(values)
     if not values:
         return 0.0

@@ -30,6 +30,13 @@ def render_table(
         columns: Column order.
         value_format: Format applied to every value cell.
         mean_row: Append an arithmetic-mean row like the paper's tables.
+
+    Example:
+        >>> print(render_table("Demo", {"mcf": {"bpa": 2.5}}, ["bpa"], mean_row=False))
+        Demo
+        trace                     bpa
+        -----------------------------
+        mcf                     2.50
     """
     lines = [title]
     header = f"{'trace':<18}" + "".join(f"{column:>11}" for column in columns)

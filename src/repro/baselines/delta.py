@@ -60,7 +60,13 @@ def _signed_wrapped_delta(value: int, previous: int) -> int:
 
 
 def delta_encode(addresses) -> bytes:
-    """Delta-encode a trace into the variable-length byte representation."""
+    """Delta-encode a trace into the variable-length byte representation.
+
+    Example:
+        >>> payload = delta_encode([100, 101, 102, 50])
+        >>> delta_decode(payload).tolist()
+        [100, 101, 102, 50]
+    """
     values = as_address_array(addresses).tolist()
     out = bytearray()
     previous = 0

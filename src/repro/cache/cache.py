@@ -96,6 +96,11 @@ class CacheConfig:
 
         This matches how the paper describes its filter caches ("capacity of
         32 Kbytes and ... 4-way set-associative").
+
+        Example:
+            >>> config = CacheConfig.from_capacity(32 * 1024, associativity=4)
+            >>> config.num_sets, config.capacity_bytes
+            (128, 32768)
         """
         blocks = capacity_bytes // block_bytes
         if blocks % associativity:

@@ -82,19 +82,41 @@ def miss_ratio_sweep(
     set_counts: Sequence[int],
     max_associativity: int = 32,
     trace_name: str = "",
+    workers: int = 1,
 ) -> MissRatioSurface:
     """Simulate a trace once per set count and return the full surface.
+
+    The per-set-count passes are independent, so with ``workers > 1`` they
+    run concurrently on the shared ordered thread pool
+    (:func:`repro.core.parallel.map_ordered`) — the same worker layer the
+    chunk-compression pipeline and the sweep runner use.  The returned
+    surface is identical for every worker count.
 
     Args:
         blocks: Block-address trace (any iterable of ints, consumed fully).
         set_counts: Set counts to simulate (each is a separate pass).
         max_associativity: Largest associativity of interest.
         trace_name: Label stored in the returned surface.
+        workers: Number of set-count passes simulated concurrently
+            (``0``/``None`` = one per CPU, like the rest of the pipeline).
+
+    Example:
+        >>> surface = miss_ratio_sweep(range(4096), set_counts=(64, 128))
+        >>> surface.set_counts
+        [64, 128]
+        >>> surface.miss_ratio(64, 4)        # a pure streaming trace always misses
+        1.0
     """
+    from repro.core.parallel import map_ordered, resolve_workers
+
     materialised = np.asarray(list(blocks) if not isinstance(blocks, np.ndarray) else blocks)
-    curves: Dict[int, MissRatioCurve] = {}
-    for num_sets in set_counts:
+
+    def one_pass(num_sets: int) -> MissRatioCurve:
         simulator = LruStackSimulator(num_sets, max_associativity=max_associativity)
         simulator.access_trace(materialised)
-        curves[num_sets] = simulator.curve()
+        return simulator.curve()
+
+    set_counts = list(set_counts)
+    passes = map_ordered(one_pass, set_counts, workers=resolve_workers(workers))
+    curves: Dict[int, MissRatioCurve] = dict(zip(set_counts, passes))
     return MissRatioSurface(trace_name=trace_name, curves=curves)

@@ -14,11 +14,18 @@ installed as console scripts by the package:
 
 ``bin2atc`` defaults to lossy mode (the paper's ``'k'``); pass
 ``--lossless`` for the safe lossless mode.
+
+Beyond the paper's tools, the ``repro`` umbrella script exposes the
+declarative experiment-orchestration subsystem as ``repro sweep``
+(``run`` / ``status`` / ``report``) — see :mod:`repro.experiments` and
+``docs/experiments.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
+import os
 import sys
 from typing import List, Optional
 
@@ -27,9 +34,45 @@ from repro.core.lossy import LossyConfig
 from repro.errors import ReproError, TraceFormatError
 from repro.traces.trace import DEFAULT_CHUNK_ADDRESSES, iter_raw_chunks
 
-__all__ = ["bin2atc_main", "atc2bin_main", "inspect_main", "main"]
+__all__ = ["bin2atc_main", "atc2bin_main", "inspect_main", "sweep_main", "main"]
 
 _READ_CHUNK_ADDRESSES = DEFAULT_CHUNK_ADDRESSES
+
+
+def _silence_stdout() -> None:
+    """Point stdout at devnull after a broken pipe.
+
+    Redirecting the file descriptor *before* anything flushes again is the
+    documented recipe: closing or flushing a broken pipe would raise a
+    second ``BrokenPipeError`` from the interpreter's exit flush.  Under
+    test harnesses stdout may be a pipe-less fake without a usable
+    ``fileno``; fall back to swapping the object.
+    """
+    try:
+        devnull_fd = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull_fd, sys.stdout.fileno())
+        os.close(devnull_fd)
+    except (OSError, ValueError, AttributeError):
+        sys.stdout = open(os.devnull, "w")
+
+
+def _exit_quietly_on_broken_pipe(entry):
+    """Wrap a CLI entry point so ``tool | head`` never tracebacks.
+
+    Every console script in ``pyproject.toml`` points at a wrapped main, so
+    the standalone tools and the ``repro`` umbrella behave identically when
+    the reader closes the pipe early: silence stdout, exit 1.
+    """
+
+    @functools.wraps(entry)
+    def wrapper(argv: Optional[List[str]] = None) -> int:
+        try:
+            return entry(argv)
+        except BrokenPipeError:
+            _silence_stdout()
+            return 1
+
+    return wrapper
 
 
 def _build_bin2atc_parser() -> argparse.ArgumentParser:
@@ -83,6 +126,7 @@ def _build_bin2atc_parser() -> argparse.ArgumentParser:
     return parser
 
 
+@_exit_quietly_on_broken_pipe
 def bin2atc_main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``bin2atc`` console script."""
     args = _build_bin2atc_parser().parse_args(argv)
@@ -145,6 +189,7 @@ def _build_atc2bin_parser() -> argparse.ArgumentParser:
     return parser
 
 
+@_exit_quietly_on_broken_pipe
 def atc2bin_main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``atc2bin`` console script."""
     args = _build_atc2bin_parser().parse_args(argv)
@@ -179,6 +224,7 @@ def _build_inspect_parser() -> argparse.ArgumentParser:
     return parser
 
 
+@_exit_quietly_on_broken_pipe
 def inspect_main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``atc-inspect`` console script."""
     args = _build_inspect_parser().parse_args(argv)
@@ -199,32 +245,161 @@ def inspect_main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def _build_sweep_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description=(
+            "Run declarative experiment sweeps (repro.experiments): a TOML/JSON spec "
+            "declares a workloads x filters x codecs grid; completed cells are cached "
+            "on disk, so re-runs and resumed sweeps skip finished work."
+        ),
+    )
+    actions = parser.add_subparsers(dest="action", metavar="{run,status,report}")
+
+    def add_common(sub) -> None:
+        sub.add_argument("spec", help="sweep spec file (.toml, or JSON)")
+        sub.add_argument(
+            "--cache-dir",
+            default=None,
+            help="result-cache directory (default: <spec>.sweep-cache next to the spec)",
+        )
+
+    run = actions.add_parser("run", help="run (or resume) the sweep, then print the report")
+    add_common(run)
+    run.add_argument("--no-cache", action="store_true", help="recompute every cell, store nothing")
+    run.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="evaluate up to N (workload, filter) groups concurrently (0 = one per CPU)",
+    )
+    run.add_argument(
+        "--format",
+        "-f",
+        default="text",
+        choices=("text", "markdown", "csv", "json"),
+        help="report format (default: text)",
+    )
+    run.add_argument("--output", "-o", default=None, help="write the report to this file")
+
+    status = actions.add_parser("status", help="show how many grid cells are already cached")
+    add_common(status)
+
+    report = actions.add_parser("report", help="render the report from cached cells only")
+    add_common(report)
+    report.add_argument(
+        "--format",
+        "-f",
+        default="text",
+        choices=("text", "markdown", "csv", "json"),
+        help="report format (default: text)",
+    )
+    report.add_argument("--output", "-o", default=None, help="write the report to this file")
+    return parser
+
+
+def _default_sweep_cache_dir(spec_path: str) -> str:
+    from pathlib import Path
+
+    path = Path(spec_path)
+    return str(path.with_name(path.stem + ".sweep-cache"))
+
+
+def _emit_report(report: str, output: Optional[str]) -> int:
+    if output is None:
+        print(report)
+        return 0
+    try:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(report if report.endswith("\n") else report + "\n")
+    except OSError as error:
+        print(f"repro sweep: error: cannot write report: {error}", file=sys.stderr)
+        return 1
+    print(f"report written to {output}", file=sys.stderr)
+    return 0
+
+
+@_exit_quietly_on_broken_pipe
+def sweep_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro sweep`` subcommand (run/status/report)."""
+    parser = _build_sweep_parser()
+    args = parser.parse_args(argv)
+    if args.action is None:
+        parser.print_usage(sys.stderr)
+        print("repro sweep: error: an action is required (run, status or report)", file=sys.stderr)
+        return 2
+    from repro.experiments import SweepRunner, load_sweep_spec
+
+    try:
+        spec = load_sweep_spec(args.spec)
+    except ReproError as error:
+        print(f"repro sweep: error: {error}", file=sys.stderr)
+        return 1
+    cache_dir = args.cache_dir if args.cache_dir is not None else _default_sweep_cache_dir(args.spec)
+    if args.action == "run" and getattr(args, "no_cache", False):
+        cache_dir = None
+    try:
+        runner = SweepRunner(spec, cache_dir=cache_dir, workers=getattr(args, "jobs", 1))
+        if args.action == "status":
+            status = runner.status()
+            print(f"sweep            : {status.name}")
+            print(f"cache directory  : {cache_dir}")
+            print(f"cells            : {status.completed_units}/{status.total_units} cached")
+            for label in status.pending:
+                print(f"pending          : {label}")
+            return 0
+        if args.action == "report":
+            status = runner.status()
+            if not status.is_complete:
+                print(
+                    f"repro sweep: error: {len(status.pending)} of {status.total_units} cells "
+                    f"have no cached result; run 'repro sweep run {args.spec}' first",
+                    file=sys.stderr,
+                )
+                return 1
+        result = runner.run()
+        print(
+            f"sweep {result.name}: {len(result.rows)} cells, "
+            f"{result.cached_count()} from cache",
+            file=sys.stderr,
+        )
+        return _emit_report(result.render(args.format), args.output)
+    except ReproError as error:
+        print(f"repro sweep: error: {error}", file=sys.stderr)
+        return 1
+
+
 #: ``repro`` subcommands and the per-tool mains they delegate to.
 _SUBCOMMANDS = {
     "compress": bin2atc_main,
     "decompress": atc2bin_main,
     "inspect": inspect_main,
+    "sweep": sweep_main,
 }
 
 
 def _print_repro_usage(stream) -> None:
-    print("usage: repro {compress|decompress|inspect} [options]", file=stream)
+    print("usage: repro {compress|decompress|inspect|sweep} [options]", file=stream)
     print("", file=stream)
     print("subcommands:", file=stream)
     print("  compress    raw 64-bit value stream -> ATC container (bin2atc)", file=stream)
     print("  decompress  ATC container -> raw 64-bit value stream (atc2bin)", file=stream)
     print("  inspect     print container metadata and sizes (atc-inspect)", file=stream)
+    print("  sweep       run declarative experiment sweeps (run, status, report)", file=stream)
     print("", file=stream)
     print("run 'repro <subcommand> --help' for the subcommand's options", file=stream)
 
 
+@_exit_quietly_on_broken_pipe
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the umbrella ``repro`` console script.
 
     Dispatches ``repro compress`` / ``repro decompress`` / ``repro inspect``
-    to the corresponding tool main, so a single installed script exposes the
-    whole pipeline (including the ``--jobs`` parallelism knob of the
-    compression subcommands).
+    / ``repro sweep`` to the corresponding tool main, so a single installed
+    script exposes the whole pipeline — compression (with its ``--jobs``
+    parallelism knob), container inspection, and the declarative
+    experiment-sweep subsystem.
     """
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if not argv or argv[0] in ("-h", "--help"):

@@ -106,6 +106,10 @@ def available_backends() -> tuple:
 
     Aliases are included (they are valid configuration values), so the
     output is a deterministic, sorted union of canonical names and aliases.
+
+    Example:
+        >>> set(("bz2", "gz", "zlib", "xz", "lzma", "store")) <= set(available_backends())
+        True
     """
     return tuple(sorted(set(_BACKENDS) | set(_ALIASES)))
 
@@ -126,6 +130,12 @@ def get_backend(name_or_backend) -> CompressionBackend:
 
     Raises:
         ConfigurationError: If the name is unknown.
+
+    Example:
+        >>> get_backend("gz").name                  # aliases resolve to canonical names
+        'zlib'
+        >>> get_backend("store").roundtrip(b"abc")
+        b'abc'
     """
     if isinstance(name_or_backend, CompressionBackend):
         return name_or_backend

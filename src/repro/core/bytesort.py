@@ -58,6 +58,13 @@ def bytesort_window(addresses) -> bytes:
     first), ``8 * len(addresses)`` bytes in total.  The transform does not
     shrink the data; it only reorders bytes so that a byte-level compressor
     can exploit the exposed regularity.
+
+    Example:
+        >>> payload = bytesort_window([1, 2, 3])
+        >>> len(payload)
+        24
+        >>> bytesort_inverse_window(payload).tolist()
+        [1, 2, 3]
     """
     values = as_address_array(addresses)
     count = int(values.size)
@@ -111,6 +118,13 @@ def bytesort_transform(addresses, buffer_addresses: int = 1_000_000) -> bytes:
     traces, we use a finite size buffer of B x 8 bytes, and we output the
     eight blocks every B addresses."  A bigger buffer exposes longer-range
     regularity and therefore compresses better (Table 1's bs1 vs bs10).
+
+    Example:
+        >>> import numpy as np
+        >>> trace = np.arange(10, dtype=np.uint64)
+        >>> payload = bytesort_transform(trace, buffer_addresses=4)
+        >>> bool(np.array_equal(bytesort_inverse(payload, buffer_addresses=4), trace))
+        True
     """
     values = as_address_array(addresses)
     return b"".join(bytesort_window(window) for window in iter_windows(values, buffer_addresses))

@@ -100,12 +100,25 @@ class LosslessCodec:
 
 
 def lossless_compress(addresses, buffer_addresses: int = 1_000_000, backend="bz2") -> bytes:
-    """One-shot lossless ATC compression."""
+    """One-shot lossless ATC compression.
+
+    Example:
+        >>> import numpy as np
+        >>> trace = np.arange(5000, dtype=np.uint64) % 700
+        >>> payload = lossless_compress(trace, buffer_addresses=1000)
+        >>> len(payload) < trace.nbytes
+        True
+        >>> bool(np.array_equal(lossless_decompress(payload), trace))
+        True
+    """
     return LosslessCodec(buffer_addresses, backend).compress(addresses)
 
 
 def lossless_decompress(payload: bytes, backend="bz2") -> np.ndarray:
-    """One-shot lossless ATC decompression (buffer size read from the header)."""
+    """One-shot lossless ATC decompression (buffer size read from the header).
+
+    See :func:`lossless_compress` for a round-trip example.
+    """
     return LosslessCodec(backend=backend).decompress(payload)
 
 

@@ -301,10 +301,25 @@ class LossyCodec:
 
 
 def lossy_compress(addresses, config: LossyConfig = LossyConfig()) -> LossyCompressed:
-    """One-shot lossy compression."""
+    """One-shot lossy compression.
+
+    Example:
+        >>> import numpy as np
+        >>> trace = np.arange(6000, dtype=np.uint64) % 800      # stationary stream
+        >>> config = LossyConfig(interval_length=2000, chunk_buffer_addresses=2000)
+        >>> compressed = lossy_compress(trace, config)
+        >>> compressed.num_chunks, compressed.num_intervals     # later intervals imitate
+        (1, 3)
+        >>> len(lossy_decompress(compressed)) == len(trace)     # length always preserved
+        True
+    """
     return LossyCodec(config).compress(addresses)
 
 
 def lossy_decompress(compressed: LossyCompressed) -> np.ndarray:
-    """One-shot lossy decompression."""
+    """One-shot lossy decompression.
+
+    See :func:`lossy_compress` for a round-trip example; the output has the
+    original length but is only structurally, not bit-, exact.
+    """
     return LossyCodec(compressed.config).decompress(compressed)

@@ -58,6 +58,11 @@ def chunk_array(array, chunk_addresses: int = DEFAULT_CHUNK_ADDRESSES) -> Iterat
 
     The final chunk may be shorter.  Chunks are *views* (no copies), so the
     concatenation of the yielded chunks is byte-identical to ``array``.
+
+    Example:
+        >>> import numpy as np
+        >>> [chunk.tolist() for chunk in chunk_array(np.arange(5, dtype=np.uint64), 2)]
+        [[0, 1], [2, 3], [4]]
     """
     chunk_addresses = check_chunk_addresses(chunk_addresses)
     array = _as_chunk(array)
@@ -77,6 +82,12 @@ def rechunk(
     chunk (never by the stream length).  Yielded chunks own their memory,
     so producers are free to reuse their buffers and consumers are free to
     retain chunks across iterations.
+
+    Example:
+        >>> import numpy as np
+        >>> ragged = [np.array([0, 1, 2], dtype=np.uint64), np.array([3], dtype=np.uint64)]
+        >>> [chunk.tolist() for chunk in rechunk(ragged, 2)]
+        [[0, 1], [2, 3]]
     """
     chunk_addresses = check_chunk_addresses(chunk_addresses)
     spill: List[np.ndarray] = []
@@ -114,6 +125,11 @@ def concat_chunks(chunks: Iterable[np.ndarray]) -> np.ndarray:
     other sources yield views of arrays that are never written again).  A
     buffer-reusing producer should be wrapped in :func:`rechunk` first.
     With a single non-empty chunk, that chunk is returned as-is (no copy).
+
+    Example:
+        >>> import numpy as np
+        >>> concat_chunks(chunk_array(np.arange(5, dtype=np.uint64), 2)).tolist()
+        [0, 1, 2, 3, 4]
     """
     pieces = [_as_chunk(chunk) for chunk in chunks]
     pieces = [piece for piece in pieces if piece.size]
@@ -131,6 +147,11 @@ def count_addresses(
 
     Returns the total number of addresses seen.  This is a convenience
     terminal stage for write-side pipelines (pass the writer as ``sink``).
+
+    Example:
+        >>> import numpy as np
+        >>> count_addresses(chunk_array(np.arange(5, dtype=np.uint64), 2))
+        5
     """
     total = 0
     for chunk in chunks:

@@ -1,0 +1,93 @@
+"""Declarative experiment orchestration: specs -> plan -> cached runs -> reports.
+
+The paper's evaluation is a grid — workloads x cache filters x codecs at a
+scale — and this subpackage makes that grid a first-class, declarative
+object instead of a pile of scripts:
+
+* :mod:`repro.experiments.spec` — TOML/JSON sweep specifications
+  (:class:`SweepSpec` and its cells);
+* :mod:`repro.experiments.plan` — expansion into content-addressed
+  :class:`ExperimentUnit` cells (SHA-256 over parameters + code version);
+* :mod:`repro.experiments.store` — the on-disk result cache keyed by unit
+  hash, which is what makes re-runs and resumed sweeps near-instant;
+* :mod:`repro.experiments.runner` — parallel execution
+  (:class:`SweepRunner`), one filtered trace per (workload, filter) group;
+* :mod:`repro.experiments.results` — typed rows and text/Markdown/CSV/JSON
+  exports;
+* :mod:`repro.experiments.codecs` — the per-cell measurement shared with
+  :class:`repro.analysis.harness.EvaluationHarness`, so declarative and
+  hand-driven numbers are identical by construction.
+
+The CLI front-end is ``repro sweep {run,status,report}``; see
+``docs/experiments.md`` for the spec file reference.
+
+Example:
+    >>> import tempfile
+    >>> from repro.experiments import loads_sweep_spec, run_sweep
+    >>> spec = loads_sweep_spec('''
+    ... name = "doctest"
+    ... [[workloads]]
+    ... name = "462.libquantum"
+    ... references = 4000
+    ... [[codecs]]
+    ... kind = "lossless"
+    ... [scale]
+    ... small_buffer = 1000
+    ... ''')
+    >>> result = run_sweep(spec, cache_dir=tempfile.mkdtemp())
+    >>> len(result.rows)
+    1
+    >>> result.rows[0].codec
+    'lossless'
+"""
+
+from repro.experiments.codecs import evaluate_codec, resolve_lossy_config
+from repro.experiments.plan import (
+    ExperimentPlan,
+    ExperimentUnit,
+    default_code_version,
+    expand_sweep,
+)
+from repro.experiments.results import SweepResult, UnitResult
+from repro.experiments.runner import SweepRunner, SweepStatus, run_sweep
+from repro.experiments.spec import (
+    CODEC_KINDS,
+    CodecSpec,
+    EvaluationScale,
+    FilterSpec,
+    SweepSpec,
+    WorkloadSpec,
+    load_sweep_spec,
+    loads_sweep_spec,
+    sweep_spec_from_dict,
+)
+from repro.experiments.store import ResultStore
+
+__all__ = [
+    # spec
+    "SweepSpec",
+    "WorkloadSpec",
+    "FilterSpec",
+    "CodecSpec",
+    "EvaluationScale",
+    "CODEC_KINDS",
+    "load_sweep_spec",
+    "loads_sweep_spec",
+    "sweep_spec_from_dict",
+    # plan
+    "ExperimentPlan",
+    "ExperimentUnit",
+    "expand_sweep",
+    "default_code_version",
+    # execution
+    "SweepRunner",
+    "SweepStatus",
+    "run_sweep",
+    "ResultStore",
+    # results
+    "SweepResult",
+    "UnitResult",
+    # measurement
+    "evaluate_codec",
+    "resolve_lossy_config",
+]

@@ -1,0 +1,215 @@
+"""Typed sweep results and their table/export forms.
+
+A finished sweep aggregates into a :class:`SweepResult`: one
+:class:`UnitResult` row per grid cell, in grid order.  The result renders
+into the repository's plain-text tables (via
+:func:`repro.analysis.reporting.render_table`), GitHub-flavoured Markdown,
+CSV and JSON — the four formats the ``repro sweep report`` subcommand
+exposes.
+
+Example:
+    >>> rows = (
+    ...     UnitResult(workload="429.mcf", filter="l1", codec="lossless",
+    ...                addresses=100, payload_bytes=50, bits_per_address=4.0),
+    ...     UnitResult(workload="429.mcf", filter="l1", codec="lossy",
+    ...                addresses=100, payload_bytes=25, bits_per_address=2.0),
+    ... )
+    >>> result = SweepResult(name="demo", rows=rows)
+    >>> print(result.to_csv().splitlines()[1])
+    429.mcf,l1,lossless,100,50,4.0000,no
+    >>> "| lossless | lossy |" in result.to_markdown()
+    True
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["UnitResult", "SweepResult"]
+
+#: Columns of the CSV export, in order.
+_CSV_COLUMNS = ("workload", "filter", "codec", "addresses", "payload_bytes",
+                "bits_per_address", "cached")
+
+
+@dataclass(frozen=True)
+class UnitResult:
+    """The measured outcome of one grid cell.
+
+    Attributes:
+        workload: Workload label of the cell.
+        filter: Filter label of the cell.
+        codec: Codec label of the cell.
+        addresses: Length of the cache-filtered trace the codec saw.
+        payload_bytes: Compressed size in bytes.
+        bits_per_address: The paper's headline metric for the cell.
+        seconds: Wall-clock evaluation time (0 for cached cells).
+        cached: True when the value came from the result store.
+        extra: Optional auxiliary metrics (e.g. ``max_miss_ratio_error``
+            for lossy cells of a fidelity sweep).
+    """
+
+    workload: str
+    filter: str
+    codec: str
+    addresses: int
+    payload_bytes: int
+    bits_per_address: float
+    seconds: float = 0.0
+    cached: bool = False
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        """Plain-data form (JSON export / cache entry payload)."""
+        out: Dict = {
+            "workload": self.workload,
+            "filter": self.filter,
+            "codec": self.codec,
+            "addresses": self.addresses,
+            "payload_bytes": self.payload_bytes,
+            "bits_per_address": self.bits_per_address,
+            "seconds": round(self.seconds, 6),
+            "cached": self.cached,
+        }
+        if self.extra:
+            out["extra"] = dict(self.extra)
+        return out
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Every cell of a finished sweep, in grid order.
+
+    Attributes:
+        name: The sweep's name.
+        rows: One :class:`UnitResult` per cell.
+    """
+
+    name: str
+    rows: Tuple[UnitResult, ...]
+
+    # -- aggregation ----------------------------------------------------------------
+    @property
+    def codec_labels(self) -> List[str]:
+        """Codec labels in first-appearance (grid) order."""
+        labels: List[str] = []
+        for row in self.rows:
+            if row.codec not in labels:
+                labels.append(row.codec)
+        return labels
+
+    def tables(self) -> "Dict[str, Dict[str, Dict[str, float]]]":
+        """Bits-per-address grids, one per filter label.
+
+        Returns ``{filter: {workload: {codec: bpa}}}`` — the shape
+        :func:`repro.analysis.reporting.render_table` consumes directly.
+        """
+        out: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for row in self.rows:
+            out.setdefault(row.filter, {}).setdefault(row.workload, {})[row.codec] = (
+                row.bits_per_address
+            )
+        return out
+
+    def cached_count(self) -> int:
+        """Number of cells served from the result store."""
+        return sum(1 for row in self.rows if row.cached)
+
+    # -- exports --------------------------------------------------------------------
+    def to_text(self) -> str:
+        """Plain-text tables in the repository's Table 1/3 style."""
+        from repro.analysis.reporting import render_table
+
+        sections = []
+        for filter_label, rows in self.tables().items():
+            sections.append(
+                render_table(
+                    f"Sweep {self.name} [{filter_label}]: bits per address",
+                    rows,
+                    self.codec_labels,
+                )
+            )
+        return "\n\n".join(sections)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured Markdown: one bits-per-address table per filter."""
+        lines: List[str] = [f"# Sweep `{self.name}`", ""]
+        for filter_label, rows in self.tables().items():
+            columns = self.codec_labels
+            lines.append(f"## Filter `{filter_label}` — bits per address")
+            lines.append("")
+            lines.append("| workload | " + " | ".join(columns) + " |")
+            lines.append("| --- | " + " | ".join("---:" for _ in columns) + " |")
+            for workload, values in rows.items():
+                cells = [
+                    f"{values[c]:.4f}" if c in values else "n/a" for c in columns
+                ]
+                lines.append(f"| {workload} | " + " | ".join(cells) + " |")
+            from repro.analysis.metrics import arithmetic_mean
+
+            means = [
+                arithmetic_mean([values[c] for values in rows.values() if c in values])
+                for c in columns
+            ]
+            lines.append(
+                "| *arith. mean* | " + " | ".join(f"*{m:.4f}*" for m in means) + " |"
+            )
+            lines.append("")
+        extras = [row for row in self.rows if row.extra]
+        if extras:
+            lines.append("## Auxiliary metrics")
+            lines.append("")
+            for row in extras:
+                rendered = ", ".join(f"{k} = {v:.4f}" for k, v in sorted(row.extra.items()))
+                lines.append(f"- `{row.workload}/{row.filter}/{row.codec}`: {rendered}")
+            lines.append("")
+        return "\n".join(lines).rstrip() + "\n"
+
+    def to_csv(self) -> str:
+        """CSV export, one row per cell (stable column order)."""
+        import csv
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(_CSV_COLUMNS)
+        for row in self.rows:
+            writer.writerow(
+                [
+                    row.workload,
+                    row.filter,
+                    row.codec,
+                    row.addresses,
+                    row.payload_bytes,
+                    f"{row.bits_per_address:.4f}",
+                    "yes" if row.cached else "no",
+                ]
+            )
+        return buffer.getvalue()
+
+    def to_json(self) -> str:
+        """JSON export: the sweep name plus every row's plain-data form."""
+        return json.dumps(
+            {"name": self.name, "rows": [row.to_dict() for row in self.rows]},
+            indent=1,
+            sort_keys=True,
+        )
+
+    def render(self, format: str = "text") -> str:
+        """Render in one of ``text``, ``markdown``, ``csv``, ``json``."""
+        renderers = {
+            "text": self.to_text,
+            "markdown": self.to_markdown,
+            "csv": self.to_csv,
+            "json": self.to_json,
+        }
+        try:
+            return renderers[format]()
+        except KeyError:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"unknown report format {format!r}; known formats: {', '.join(sorted(renderers))}"
+            ) from None

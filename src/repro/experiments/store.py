@@ -1,0 +1,103 @@
+"""On-disk result cache for sweep units, keyed by content hash.
+
+A :class:`ResultStore` is a directory of ``<sha256>.json`` files, one per
+completed grid cell.  The hash covers the resolved unit parameters *and* the
+code version (see :meth:`~repro.experiments.plan.ExperimentUnit.unit_hash`),
+so a stored result is returned only when both the cell and the code that
+produced it are unchanged — re-running a sweep skips completed cells, a
+resumed sweep picks up exactly where it stopped, and editing a parameter
+invalidates exactly the affected cells.
+
+Entries are small JSON documents (the measured metrics plus the unit's own
+description for human inspection), so the cache is diff-able and safe to
+prune by hand.
+
+Example:
+    >>> import tempfile
+    >>> store = ResultStore(tempfile.mkdtemp())
+    >>> key = "ab" * 32
+    >>> store.get(key) is None
+    True
+    >>> store.put(key, {"bits_per_address": 1.5})
+    >>> store.get(key)["bits_per_address"]
+    1.5
+    >>> store.size()
+    1
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ResultStore"]
+
+_HASH_RE = re.compile(r"^[0-9a-f]{64}$")
+
+
+class ResultStore:
+    """Directory-backed ``{unit_hash: result_dict}`` mapping.
+
+    Args:
+        directory: Cache directory; created on first write.
+    """
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+
+    def _path(self, unit_hash: str) -> Path:
+        if not _HASH_RE.match(unit_hash):
+            raise ConfigurationError(f"malformed unit hash {unit_hash!r}")
+        return self.directory / f"{unit_hash}.json"
+
+    def get(self, unit_hash: str) -> Optional[Dict]:
+        """Return the stored result for a hash, or ``None`` when absent.
+
+        A corrupt (half-written, hand-edited) entry reads as a miss, so the
+        unit is simply recomputed rather than crashing the sweep.
+        """
+        path = self._path(unit_hash)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError:
+            return None
+        return data if isinstance(data, dict) else None
+
+    def put(self, unit_hash: str, result: Dict) -> None:
+        """Store one result; the write is atomic (rename of a temp file)."""
+        path = self._path(unit_hash)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(result, sort_keys=True, indent=1), encoding="utf-8")
+        tmp.replace(path)
+
+    def __contains__(self, unit_hash: str) -> bool:
+        return self._path(unit_hash).exists()
+
+    def keys(self) -> List[str]:
+        """Hashes of every stored result, sorted."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(
+            path.stem for path in self.directory.glob("*.json") if _HASH_RE.match(path.stem)
+        )
+
+    def size(self) -> int:
+        """Number of stored results."""
+        return len(self.keys())
+
+    def clear(self) -> int:
+        """Delete every stored result; returns the number removed."""
+        removed = 0
+        for key in self.keys():
+            self._path(key).unlink()
+            removed += 1
+        return removed

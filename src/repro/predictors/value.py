@@ -58,7 +58,14 @@ class Predictor:
 
 
 class LastValuePredictor(Predictor):
-    """Predicts that the next value equals the last ``depth`` values seen."""
+    """Predicts that the next value equals the last ``depth`` values seen.
+
+    Example:
+        >>> predictor = LastValuePredictor(depth=1)
+        >>> predictor.update(42)
+        >>> predictor.predictions()
+        (42,)
+    """
 
     name = "LV"
 

@@ -247,6 +247,15 @@ def filtered_spec_like_trace(
         seed: Workload RNG seed.
         instruction_config: L1I geometry (paper default).
         data_config: L1D geometry (paper default).
+
+    Example:
+        >>> trace = filtered_spec_like_trace("462.libquantum", 3000)
+        >>> trace.name
+        '462.libquantum'
+        >>> 0 < len(trace)                       # misses survive the filter...
+        True
+        >>> bool(trace.addresses.max() < 1 << 58)   # ...as 64-byte block addresses
+        True
     """
     from repro.traces.spec_like import generate_reference_stream
 

@@ -374,6 +374,12 @@ def get_workload(name: str) -> SpecLikeWorkload:
 
     Both ``"429.mcf"`` and ``"429"`` resolve to the mcf-like workload, which
     mirrors the paper's habit of abbreviating trace names to their number.
+
+    Example:
+        >>> get_workload("429").name
+        '429.mcf'
+        >>> len(get_workload("433.milc").reference_stream(1000))  # instr + data refs
+        2000
     """
     if name in _WORKLOADS:
         return _WORKLOADS[name]

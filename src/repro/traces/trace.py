@@ -75,6 +75,10 @@ def as_address_array(addresses: Union[Sequence[int], np.ndarray, Iterable[int]])
     NumPy arrays of any integer dtype.  Negative values raise
     :class:`TraceFormatError` because a trace address is by definition an
     unsigned quantity.
+
+    Example:
+        >>> as_address_array([1, 2, 3]).dtype
+        dtype('uint64')
     """
     if isinstance(addresses, np.ndarray):
         if addresses.dtype == _UINT64 and addresses.flags.c_contiguous:

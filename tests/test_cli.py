@@ -192,15 +192,120 @@ class TestReproUmbrella:
 
     def test_unknown_subcommand(self, capsys):
         assert main(["transmogrify"]) == 2
-        assert "unknown subcommand" in capsys.readouterr().err
+        captured = capsys.readouterr().err
+        assert "unknown subcommand" in captured
+        # The error path prints the full usage, which must list every
+        # subcommand — including sweep.
+        for subcommand in ("compress", "decompress", "inspect", "sweep"):
+            assert subcommand in captured
 
     def test_no_arguments_prints_usage(self, capsys):
         assert main([]) == 2
-        assert "usage: repro" in capsys.readouterr().err
+        captured = capsys.readouterr().err
+        assert "usage: repro" in captured
+        assert "sweep" in captured
 
     def test_help_flag(self, capsys):
         assert main(["--help"]) == 0
-        assert "subcommands" in capsys.readouterr().out
+        captured = capsys.readouterr().out
+        assert "subcommands" in captured
+        assert "sweep       run declarative experiment sweeps" in captured
+
+
+@pytest.fixture
+def sweep_spec_file(tmp_path):
+    path = tmp_path / "grid.json"
+    path.write_text(
+        """
+        {
+          "workloads": [{"name": "429.mcf", "references": 5000},
+                        {"name": "433.milc", "references": 5000}],
+          "filters": [{"label": "l1-paper"},
+                      {"label": "l1-8KB", "capacity_bytes": 8192, "associativity": 2}],
+          "codecs": [{"kind": "lossless"}, {"kind": "lossless", "backend": "zlib"}],
+          "scale": {"small_buffer": 1000, "interval_length": 1000}
+        }
+        """
+    )
+    return path
+
+
+class TestSweepSubcommand:
+    def test_run_prints_report_and_populates_cache(self, sweep_spec_file, capsys):
+        assert main(["sweep", "run", str(sweep_spec_file)]) == 0
+        captured = capsys.readouterr()
+        assert "bits per address" in captured.out
+        assert "8 cells, 0 from cache" in captured.err
+        cache_dir = sweep_spec_file.parent / "grid.sweep-cache"
+        assert len(list(cache_dir.glob("*.json"))) == 8
+
+    def test_second_run_serves_from_cache(self, sweep_spec_file, capsys):
+        assert main(["sweep", "run", str(sweep_spec_file)]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "run", str(sweep_spec_file)]) == 0
+        assert "8 from cache" in capsys.readouterr().err
+
+    def test_status_before_and_after(self, sweep_spec_file, capsys):
+        assert main(["sweep", "status", str(sweep_spec_file)]) == 0
+        before = capsys.readouterr().out
+        assert "0/8 cached" in before
+        assert "pending" in before
+        main(["sweep", "run", str(sweep_spec_file)])
+        capsys.readouterr()
+        assert main(["sweep", "status", str(sweep_spec_file)]) == 0
+        assert "8/8 cached" in capsys.readouterr().out
+
+    def test_report_requires_a_complete_cache(self, sweep_spec_file, capsys):
+        assert main(["sweep", "report", str(sweep_spec_file)]) == 1
+        assert "no cached result" in capsys.readouterr().err
+        main(["sweep", "run", str(sweep_spec_file)])
+        capsys.readouterr()
+        assert main(["sweep", "report", str(sweep_spec_file), "--format", "csv"]) == 0
+        report = capsys.readouterr().out
+        assert report.startswith("workload,filter,codec,")
+        assert len(report.strip().splitlines()) == 9
+
+    def test_run_writes_markdown_report_to_file(self, sweep_spec_file, tmp_path, capsys):
+        output = tmp_path / "report.md"
+        args = ["sweep", "run", str(sweep_spec_file), "-f", "markdown", "-o", str(output)]
+        assert main(args) == 0
+        assert "| workload |" in output.read_text()
+
+    def test_missing_spec_fails_cleanly(self, tmp_path, capsys):
+        assert main(["sweep", "run", str(tmp_path / "absent.json")]) == 1
+        assert "cannot read sweep spec" in capsys.readouterr().err
+
+    def test_invalid_spec_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"workloads": [], "codecs": ["raw"]}')
+        assert main(["sweep", "run", str(bad)]) == 1
+        assert "at least one workload" in capsys.readouterr().err
+
+    def test_missing_action_fails_cleanly(self, capsys):
+        assert main(["sweep"]) == 2
+        assert "an action is required" in capsys.readouterr().err
+
+    def test_broken_pipe_exits_quietly(self, sweep_spec_file, monkeypatch):
+        # `repro sweep status SPEC | head` closes stdout early; the umbrella
+        # must exit with an error code, not a BrokenPipeError traceback.
+        import sys as _sys
+
+        class _ClosedPipe:
+            def write(self, text):
+                raise BrokenPipeError(32, "Broken pipe")
+
+            def flush(self):
+                pass
+
+            def close(self):
+                pass
+
+        saved = _sys.stdout
+        monkeypatch.setattr(_sys, "stdout", _ClosedPipe())
+        try:
+            assert main(["sweep", "status", str(sweep_spec_file)]) == 1
+        finally:
+            monkeypatch.setattr(_sys, "stdout", saved)
 
 
 class TestInspect:

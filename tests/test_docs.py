@@ -1,0 +1,205 @@
+"""Tests of the documentation site: structure, links, and format-spec truth.
+
+Two layers of enforcement:
+
+* **Structure** — every page mkdocs.yml navigates to exists, and every
+  relative markdown link inside ``docs/`` resolves to a real file/anchor
+  target, so ``mkdocs build --strict`` cannot fail on the CI docs job for
+  structural reasons the test suite would miss locally.
+* **Spec truth** — ``docs/atc-format.md`` is a byte-level specification;
+  this module re-parses the golden containers under ``tests/data/golden/``
+  with an *independent* reader that follows the documented offsets and
+  constants (never the library code) and checks the result against the
+  library decoder.  If the format and the document drift apart, one of
+  these tests fails.
+"""
+
+from __future__ import annotations
+
+import bz2
+import json
+import lzma
+import re
+import struct
+import zlib
+from pathlib import Path
+
+import pytest
+
+_REPO = Path(__file__).resolve().parent.parent
+_DOCS = _REPO / "docs"
+_GOLDEN = Path(__file__).resolve().parent / "data" / "golden"
+
+# Constants exactly as documented in docs/atc-format.md.
+_INFO_MAGIC = b"ATCINFO1"
+_CHUNK_MAGIC = b"ATCL"
+_RECORD_FIXED = struct.Struct("<BII")
+_CHUNK_HEADER = struct.Struct("<4sBQQ")
+_TRANSLATION_BYTES = 8 * 256
+_DECOMPRESS = {"bz2": bz2.decompress, "zlib": zlib.decompress, "lzma": lzma.decompress}
+
+_DOC_METADATA_KEYS = (
+    "format",
+    "format_version",
+    "mode",
+    "backend",
+    "original_length",
+    "interval_length",
+    "threshold",
+    "chunk_buffer_addresses",
+    "enable_translation",
+    "num_chunks",
+)
+
+
+def _golden_containers():
+    return sorted(path for path in _GOLDEN.iterdir() if path.is_dir())
+
+
+def _container_suffix(container: Path) -> str:
+    (info,) = container.glob("INFO.*")
+    return info.name.split(".", 1)[1]
+
+
+def _parse_info_per_spec(container: Path):
+    """Parse INFO.<suffix> following docs/atc-format.md, not the library."""
+    suffix = _container_suffix(container)
+    body = _DECOMPRESS[suffix]((container / f"INFO.{suffix}").read_bytes())
+    assert body[:8] == _INFO_MAGIC, "INFO body must start with the documented magic"
+    (header_length,) = struct.unpack_from("<I", body, 8)
+    metadata = json.loads(body[12 : 12 + header_length].decode("utf-8"))
+    offset = 12 + header_length
+    (interval_trace_length,) = struct.unpack_from("<I", body, offset)
+    offset += 4
+    interval_trace = body[offset : offset + interval_trace_length]
+    assert offset + interval_trace_length == len(body), "no trailing bytes after interval trace"
+    records = []
+    position = 0
+    while position < len(interval_trace):
+        kind, chunk_id, length = _RECORD_FIXED.unpack_from(interval_trace, position)
+        position += _RECORD_FIXED.size
+        assert kind in (0, 1), "documented kinds are 0 (chunk) and 1 (imitate)"
+        record = {"kind": kind, "chunk_id": chunk_id, "length": length}
+        if kind == 1:
+            record["active"] = interval_trace[position]
+            position += 1 + _TRANSLATION_BYTES
+        records.append(record)
+    return metadata, records
+
+
+class TestDocsStructure:
+    def test_docs_directory_has_the_promised_pages(self):
+        for page in ("index.md", "architecture.md", "paper-map.md", "atc-format.md",
+                     "experiments.md", "cli.md"):
+            assert (_DOCS / page).is_file(), f"docs/{page} missing"
+
+    def test_mkdocs_nav_targets_exist(self):
+        config = (_REPO / "mkdocs.yml").read_text(encoding="utf-8")
+        for target in re.findall(r":\s*([\w-]+\.md)\s*$", config, flags=re.MULTILINE):
+            assert (_DOCS / target).is_file(), f"mkdocs.yml navigates to missing docs/{target}"
+
+    def test_relative_markdown_links_resolve(self):
+        for page in _DOCS.glob("*.md"):
+            text = page.read_text(encoding="utf-8")
+            for match in re.finditer(r"\]\(([^)#\s]+\.md)(#[\w-]+)?\)", text):
+                target = match.group(1)
+                if target.startswith("http"):
+                    continue
+                resolved = (page.parent / target).resolve()
+                assert resolved.is_file(), f"{page.name} links to missing {target}"
+
+    def test_anchor_links_point_at_real_headings(self):
+        pages = {page.name: page.read_text(encoding="utf-8") for page in _DOCS.glob("*.md")}
+        for name, text in pages.items():
+            for match in re.finditer(r"\]\(([\w-]+\.md)#([\w-]+)\)", text):
+                target, anchor = match.group(1), match.group(2)
+                headings = re.findall(r"^#+\s+(.*)$", pages[target], flags=re.MULTILINE)
+                slugs = {
+                    re.sub(r"[^\w\s-]", "", heading.lower()).strip().replace(" ", "-")
+                    for heading in headings
+                }
+                assert anchor in slugs, f"{name} links to {target}#{anchor}, not a heading there"
+
+    def test_readme_links_into_docs(self):
+        readme = (_REPO / "README.md").read_text(encoding="utf-8")
+        for target in re.findall(r"\]\((docs/[\w-]+\.md)\)", readme):
+            assert (_REPO / target).is_file(), f"README links to missing {target}"
+        assert "docs/" in readme, "README must link into the documentation site"
+
+
+class TestAtcFormatSpecAgainstGoldenFixtures:
+    """The independent, documentation-driven parser agrees with the library."""
+
+    @pytest.fixture(scope="class", params=[p.name for p in _golden_containers()])
+    def container(self, request):
+        return _GOLDEN / request.param
+
+    def test_chunk_files_are_one_indexed_atcl_streams(self, container):
+        suffix = _container_suffix(container)
+        chunk_files = sorted(
+            (p for p in container.iterdir() if p.name[0].isdigit()),
+            key=lambda p: int(p.name.split(".")[0]),
+        )
+        assert chunk_files, "every golden container stores at least one chunk"
+        assert [int(p.name.split(".")[0]) for p in chunk_files] == list(
+            range(1, len(chunk_files) + 1)
+        )
+        for path in chunk_files:
+            payload = path.read_bytes()
+            magic, version, count, buffer_addresses = _CHUNK_HEADER.unpack_from(payload)
+            assert magic == _CHUNK_MAGIC
+            assert version == 1
+            assert count > 0
+            assert buffer_addresses > 0
+
+    def test_info_metadata_matches_documented_schema(self, container):
+        metadata, _ = _parse_info_per_spec(container)
+        assert sorted(metadata) == sorted(_DOC_METADATA_KEYS)
+        assert metadata["format"] == "atc"
+        assert metadata["format_version"] == 1
+        assert metadata["mode"] == ("lossy" if container.name.startswith("lossy") else "lossless")
+        assert metadata["backend"] == _container_suffix(container)
+
+    def test_interval_trace_is_consistent_with_chunk_files(self, container):
+        metadata, records = _parse_info_per_spec(container)
+        chunk_ids_on_disk = {
+            int(p.name.split(".")[0]) - 1 for p in container.iterdir() if p.name[0].isdigit()
+        }
+        assert metadata["num_chunks"] == len(chunk_ids_on_disk)
+        referenced = {record["chunk_id"] for record in records}
+        assert referenced == chunk_ids_on_disk, "records reference exactly the stored chunks"
+        stored = [r for r in records if r["kind"] == 0]
+        assert {r["chunk_id"] for r in stored} == chunk_ids_on_disk
+        assert sum(r["length"] for r in records) == metadata["original_length"]
+        if container.name.startswith("lossless"):
+            assert all(r["kind"] == 0 for r in records), "lossless containers never imitate"
+            assert [r["chunk_id"] for r in records] == list(range(len(records)))
+        else:
+            assert any(r["kind"] == 1 for r in records), "golden lossy fixtures cover imitation"
+
+    def test_independent_parse_agrees_with_library_decoder(self, container):
+        from repro.core.atc import AtcDecoder
+
+        metadata, records = _parse_info_per_spec(container)
+        decoder = AtcDecoder(container)
+        assert decoder.metadata == metadata
+        assert len(decoder.records) == len(records)
+        for mine, theirs in zip(records, decoder.records):
+            assert mine["kind"] == (0 if theirs.kind == "chunk" else 1)
+            assert mine["chunk_id"] == theirs.chunk_id
+            assert mine["length"] == theirs.length
+        decoded = decoder.read_all()
+        assert decoded.size == metadata["original_length"], "the documented integrity check"
+
+    def test_gz_and_xz_aliases_store_canonical_suffixes(self):
+        # Documented: aliases never appear on disk.
+        names = {p.name for p in _golden_containers()}
+        assert {"lossless_gz", "lossless_xz"} <= names
+        assert _container_suffix(_GOLDEN / "lossless_gz") == "zlib"
+        assert _container_suffix(_GOLDEN / "lossless_xz") == "lzma"
+
+    def test_documented_constants_appear_in_the_spec_page(self):
+        spec = (_DOCS / "atc-format.md").read_text(encoding="utf-8")
+        for constant in ("ATCINFO1", "ATCL", "'<BII'", "'<4sBQQ'", "2048",
+                         "original_length", "u32 header_length"):
+            assert constant in spec, f"atc-format.md no longer documents {constant}"
