@@ -2,22 +2,28 @@
 
 The paper gets its single-pass speed by overlapping compression with trace
 generation (an external ``bzip2 -c`` process on another core); this bench
-records how well the in-process reproduction of that overlap — the
-``workers`` thread pool of the chunk pipeline — scales on the machine the
-harness runs on.  Two benchmarks compress the *same* trace with the same
-configuration, once with ``workers=1`` (fully serial) and once with
-``workers=4``; the ratio of the two medians is the pipeline speedup, and
-the containers are asserted byte-identical (the pipeline's hard invariant).
+records how well the in-process reproduction of that overlap — the chunk
+pipeline on the selected executor — scales on the machine the harness runs
+on.  Two benchmarks compress the *same* trace with the same configuration,
+once with ``workers=1`` (fully serial) and once with ``workers=4`` on the
+``--executor`` strategy (threads by default, ``--executor process`` for the
+shared-memory process pool); the ratio of the two medians is the pipeline
+speedup, and the containers are asserted byte-identical (the pipeline's
+hard invariant).
 
-On a single-core runner the two times are expected to be equal; the stdlib
-codecs release the GIL, so the speedup materialises with the hardware.
-Throughput is recorded as addresses/second in the ``extra_info`` of the
-JSON payload so the perf trajectory (BENCH_*.json) captures the win.
+On a single-core runner the two times are expected to be equal; the
+speedup materialises with the hardware.  On a host with at least four CPUs
+a dedicated acceptance test asserts the process pipeline reaches >= 1.8x
+at four workers.  Throughput is recorded as addresses/second in the
+``extra_info`` of the JSON payload so the perf trajectory (BENCH_*.json)
+captures the win.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
+import time
 from pathlib import Path
 
 import numpy as np
@@ -61,23 +67,24 @@ def _container_digest(directory: Path) -> str:
     return digest.hexdigest()
 
 
-def _encode(trace: np.ndarray, directory: Path, workers: int) -> Path:
+def _encode(trace: np.ndarray, directory: Path, workers: int, executor=None) -> Path:
     config = LossyConfig(
-        chunk_buffer_addresses=CHUNK_ADDRESSES, backend="bz2", workers=workers
+        chunk_buffer_addresses=CHUNK_ADDRESSES, backend="bz2", workers=workers, executor=executor
     )
     compress_trace(trace, directory, mode=MODE_LOSSLESS, config=config)
     return directory
 
 
-def _bench_encode(benchmark, tmp_path_factory, trace, workers, label):
+def _bench_encode(benchmark, tmp_path_factory, trace, workers, label, executor=None):
     counter = iter(range(1_000_000))
 
     def run():
         directory = tmp_path_factory.mktemp(f"{label}-{next(counter)}") / "container"
-        return _encode(trace, directory, workers)
+        return _encode(trace, directory, workers, executor)
 
     directory = benchmark(run)
     benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["executor"] = executor or "auto"
     benchmark.extra_info["trace_addresses"] = int(trace.size)
     benchmark.extra_info["addresses_per_second"] = trace.size / benchmark.stats.stats.median
     return _container_digest(directory)
@@ -89,14 +96,44 @@ def test_encode_serial_1m(benchmark, tmp_path_factory, speedup_trace):
     benchmark.extra_info["container_sha256"] = digest
 
 
-def test_encode_parallel_1m(benchmark, tmp_path_factory, speedup_trace):
+def test_encode_parallel_1m(benchmark, tmp_path_factory, speedup_trace, bench_executor):
     """Pipeline: same trace, four workers; container must be byte-identical."""
     digest = _bench_encode(
-        benchmark, tmp_path_factory, speedup_trace, PARALLEL_WORKERS, "parallel"
+        benchmark, tmp_path_factory, speedup_trace, PARALLEL_WORKERS, "parallel", bench_executor
     )
     benchmark.extra_info["container_sha256"] = digest
     serial_dir = tmp_path_factory.mktemp("serial-ref") / "container"
     _encode(speedup_trace, serial_dir, workers=1)
     assert digest == _container_digest(serial_dir), (
         "parallel container must be byte-identical to the serial one"
+    )
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < PARALLEL_WORKERS, reason="needs >= 4 CPUs")
+def test_process_pipeline_speedup_at_4_workers(tmp_path_factory, speedup_trace, bench_executor):
+    """Acceptance: the process pipeline reaches >= 1.8x at four workers.
+
+    Only meaningful with real cores (skipped below four CPUs) and only
+    asserted for the process executor (run with ``--executor process``):
+    the thread pipeline's ceiling depends on how much of the workload
+    releases the GIL, which is hardware- and backend-dependent.
+    """
+    if bench_executor != "process":
+        pytest.skip("speedup is asserted for the process executor (--executor process)")
+
+    def timed(workers, executor, label):
+        best = float("inf")
+        for round_index in range(2):
+            directory = tmp_path_factory.mktemp(f"speedup-{label}-{round_index}") / "container"
+            started = time.perf_counter()
+            _encode(speedup_trace, directory, workers, executor)
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    serial_seconds = timed(1, "serial", "serial")
+    process_seconds = timed(PARALLEL_WORKERS, "process", "process")
+    speedup = serial_seconds / process_seconds
+    assert speedup >= 1.8, (
+        f"process pipeline speedup {speedup:.2f}x at {PARALLEL_WORKERS} workers "
+        f"(serial {serial_seconds:.2f}s vs process {process_seconds:.2f}s)"
     )

@@ -52,18 +52,31 @@ from repro.core.bytesort import (
 )
 from repro.core.lossless import LosslessCodec, lossless_compress, lossless_decompress
 from repro.core.lossy import LossyCodec, LossyCompressed, LossyConfig, lossy_compress, lossy_decompress
+from repro.core.parallel import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    resolve_executor,
+)
 from repro.errors import (
     CodecError,
     ConfigurationError,
     ContainerError,
+    ParallelExecutionError,
     ReproError,
     TraceFormatError,
 )
-from repro.traces.filter import CacheFilter, StreamingCacheFilter, filtered_spec_like_trace
+from repro.traces.filter import (
+    CacheFilter,
+    StreamingCacheFilter,
+    filter_spec_like_traces,
+    filtered_spec_like_trace,
+)
 from repro.traces.spec_like import SPEC_LIKE_NAMES, spec_like_suite
 from repro.traces.trace import AddressTrace, iter_raw_chunks, read_raw_trace, write_raw_trace
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 # The experiments subsystem imports the trace/codec layers above, so its
 # re-exports come last to keep the import order acyclic.
@@ -107,8 +120,15 @@ __all__ = [
     "CacheFilter",
     "StreamingCacheFilter",
     "filtered_spec_like_trace",
+    "filter_spec_like_traces",
     "spec_like_suite",
     "SPEC_LIKE_NAMES",
+    # executor engine
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "resolve_executor",
     # experiments
     "SweepSpec",
     "WorkloadSpec",
@@ -123,4 +143,5 @@ __all__ = [
     "ContainerError",
     "CodecError",
     "ConfigurationError",
+    "ParallelExecutionError",
 ]

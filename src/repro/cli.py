@@ -18,7 +18,12 @@ installed as console scripts by the package:
 Beyond the paper's tools, the ``repro`` umbrella script exposes the
 declarative experiment-orchestration subsystem as ``repro sweep``
 (``run`` / ``status`` / ``report``) — see :mod:`repro.experiments` and
-``docs/experiments.md``.
+``docs/experiments.md`` — and the continuous-benchmarking runner as
+``repro bench`` (normalized ``BENCH_*.json`` reports plus the baseline
+comparison the CI regression gate runs) — see :mod:`repro.bench` and
+``docs/performance.md``.  Every parallel subcommand takes ``--executor
+{serial,thread,process}`` (default: the ``REPRO_EXECUTOR`` environment
+variable, else auto), selecting the engine behind ``--jobs``.
 """
 
 from __future__ import annotations
@@ -34,7 +39,7 @@ from repro.core.lossy import LossyConfig
 from repro.errors import ReproError, TraceFormatError
 from repro.traces.trace import DEFAULT_CHUNK_ADDRESSES, iter_raw_chunks
 
-__all__ = ["bin2atc_main", "atc2bin_main", "inspect_main", "sweep_main", "main"]
+__all__ = ["bin2atc_main", "atc2bin_main", "inspect_main", "sweep_main", "bench_main", "main"]
 
 _READ_CHUNK_ADDRESSES = DEFAULT_CHUNK_ADDRESSES
 
@@ -73,6 +78,25 @@ def _exit_quietly_on_broken_pipe(entry):
             return 1
 
     return wrapper
+
+
+def _add_executor_argument(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--executor`` strategy knob to a subcommand parser."""
+    parser.add_argument(
+        "--executor",
+        default=None,
+        choices=("auto", "serial", "thread", "process"),
+        help="execution strategy for parallel work: serial (inline), thread "
+        "(GIL-releasing codecs), process (true multi-core with shared-memory "
+        "chunk transport); default: the REPRO_EXECUTOR environment variable, "
+        "else auto (serial for 1 job, threads otherwise)",
+    )
+
+
+def _executor_spec(args) -> Optional[str]:
+    """Map the parsed ``--executor`` value to the library's spec form."""
+    value = getattr(args, "executor", None)
+    return None if value in (None, "auto") else value
 
 
 def _build_bin2atc_parser() -> argparse.ArgumentParser:
@@ -122,6 +146,7 @@ def _build_bin2atc_parser() -> argparse.ArgumentParser:
         help="compress up to N chunks concurrently (0 = one per CPU; default: 1, serial; "
         "output is byte-identical for any value)",
     )
+    _add_executor_argument(parser)
     parser.add_argument("--input", default=None, help="read raw trace from this file instead of stdin")
     return parser
 
@@ -138,6 +163,7 @@ def bin2atc_main(argv: Optional[List[str]] = None) -> int:
             backend=args.backend,
             enable_translation=not args.no_translation,
             workers=args.jobs,
+            executor=_executor_spec(args),
         )
     except ReproError as error:
         print(f"bin2atc: error: {error}", file=sys.stderr)
@@ -186,6 +212,7 @@ def _build_atc2bin_parser() -> argparse.ArgumentParser:
         default=1,
         help="prefetch and decompress up to N chunks concurrently (0 = one per CPU; default: 1)",
     )
+    _add_executor_argument(parser)
     return parser
 
 
@@ -194,7 +221,7 @@ def atc2bin_main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``atc2bin`` console script."""
     args = _build_atc2bin_parser().parse_args(argv)
     try:
-        decoder = AtcDecoder(args.directory, workers=args.jobs)
+        decoder = AtcDecoder(args.directory, workers=args.jobs, executor=_executor_spec(args))
     except ReproError as error:
         print(f"atc2bin: error: {error}", file=sys.stderr)
         return 1
@@ -274,6 +301,7 @@ def _build_sweep_parser() -> argparse.ArgumentParser:
         default=1,
         help="evaluate up to N (workload, filter) groups concurrently (0 = one per CPU)",
     )
+    _add_executor_argument(run)
     run.add_argument(
         "--format",
         "-f",
@@ -340,7 +368,12 @@ def sweep_main(argv: Optional[List[str]] = None) -> int:
     if args.action == "run" and getattr(args, "no_cache", False):
         cache_dir = None
     try:
-        runner = SweepRunner(spec, cache_dir=cache_dir, workers=getattr(args, "jobs", 1))
+        runner = SweepRunner(
+            spec,
+            cache_dir=cache_dir,
+            workers=getattr(args, "jobs", 1),
+            executor=_executor_spec(args),
+        )
         if args.action == "status":
             status = runner.status()
             print(f"sweep            : {status.name}")
@@ -370,23 +403,115 @@ def sweep_main(argv: Optional[List[str]] = None) -> int:
         return 1
 
 
+def _build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description=(
+            "Run the operational benchmark suite (repro.bench) and emit a normalized "
+            "machine-readable report; optionally compare it against a committed "
+            "baseline with a tolerance band (the CI regression gate)."
+        ),
+    )
+    parser.add_argument(
+        "--refs",
+        type=int,
+        default=30_000,
+        help="data references generated before cache filtering (default: 30000, the CI scale)",
+    )
+    parser.add_argument(
+        "--workload", default="429.mcf", help="spec-like workload to measure (default: 429.mcf)"
+    )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker count for the parallel benchmark cases (0 = one per CPU; default: 1)",
+    )
+    _add_executor_argument(parser)
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report as JSON on stdout instead of the text table",
+    )
+    parser.add_argument(
+        "--output", "-o", default=None, help="also write the JSON report to this file"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="compare against this baseline report; exit 1 on any regression "
+        "(e.g. benchmarks/baseline.json)",
+    )
+    parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=1.25,
+        help="wall-time tolerance band for --baseline (default: 1.25 = fail beyond +25%%)",
+    )
+    return parser
+
+
+@_exit_quietly_on_broken_pipe
+def bench_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro bench`` subcommand (run + optional gate)."""
+    args = _build_bench_parser().parse_args(argv)
+    from repro.bench import (
+        BenchScale,
+        build_report,
+        compare_reports,
+        load_report,
+        render_report_text,
+        resolved_executor_name,
+        run_suite,
+        save_report,
+    )
+    from repro.core.parallel import resolve_workers
+
+    spec = _executor_spec(args)
+    try:
+        workers = resolve_workers(args.jobs)
+        scale = BenchScale(references=args.refs, workload=args.workload)
+        results = run_suite(scale, executor=spec, workers=workers)
+        report = build_report(results, scale, resolved_executor_name(spec, workers), workers)
+        if args.output is not None:
+            save_report(report, args.output)
+            print(f"benchmark report written to {args.output}", file=sys.stderr)
+        if args.json:
+            save_report(report, None)
+        else:
+            print(render_report_text(report))
+        if args.baseline is None:
+            return 0
+        comparison = compare_reports(
+            report, load_report(args.baseline), max_slowdown=args.max_slowdown
+        )
+        print(comparison.render(), file=sys.stderr)
+        return 0 if comparison.ok else 1
+    except ReproError as error:
+        print(f"repro bench: error: {error}", file=sys.stderr)
+        return 1
+
+
 #: ``repro`` subcommands and the per-tool mains they delegate to.
 _SUBCOMMANDS = {
     "compress": bin2atc_main,
     "decompress": atc2bin_main,
     "inspect": inspect_main,
     "sweep": sweep_main,
+    "bench": bench_main,
 }
 
 
 def _print_repro_usage(stream) -> None:
-    print("usage: repro {compress|decompress|inspect|sweep} [options]", file=stream)
+    print("usage: repro {compress|decompress|inspect|sweep|bench} [options]", file=stream)
     print("", file=stream)
     print("subcommands:", file=stream)
     print("  compress    raw 64-bit value stream -> ATC container (bin2atc)", file=stream)
     print("  decompress  ATC container -> raw 64-bit value stream (atc2bin)", file=stream)
     print("  inspect     print container metadata and sizes (atc-inspect)", file=stream)
     print("  sweep       run declarative experiment sweeps (run, status, report)", file=stream)
+    print("  bench       run the benchmark suite; emit/compare BENCH JSON reports", file=stream)
     print("", file=stream)
     print("run 'repro <subcommand> --help' for the subcommand's options", file=stream)
 
@@ -412,3 +537,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         _print_repro_usage(sys.stderr)
         return 2
     return handler(rest)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console scripts
+    sys.exit(main())

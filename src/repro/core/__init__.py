@@ -28,6 +28,18 @@ from repro.core.histograms import (
 )
 from repro.core.intervals import ChunkTable, IntervalRecord
 from repro.core.lossless import LosslessCodec, lossless_compress, lossless_decompress
+from repro.core.parallel import (
+    EXECUTOR_NAMES,
+    Executor,
+    OrderedChunkWriter,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    executor_scope,
+    map_ordered,
+    resolve_executor,
+    resolve_workers,
+)
 from repro.core.stream import (
     DEFAULT_CHUNK_ADDRESSES,
     chunk_array,
@@ -64,6 +76,16 @@ __all__ = [
     "CompressionBackend",
     "get_backend",
     "available_backends",
+    "EXECUTOR_NAMES",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "OrderedChunkWriter",
+    "executor_scope",
+    "map_ordered",
+    "resolve_executor",
+    "resolve_workers",
     "bytesort_window",
     "bytesort_inverse_window",
     "bytesort_transform",

@@ -34,7 +34,7 @@ from repro.core.container import AtcContainer
 from repro.core.intervals import IntervalRecord, materialize_interval
 from repro.core.lossless import LosslessCodec
 from repro.core.lossy import LossyConfig, LossyIntervalEncoder
-from repro.core.parallel import OrderedChunkWriter, map_ordered, resolve_workers
+from repro.core.parallel import Executor, OrderedChunkWriter, executor_scope, resolve_workers
 from repro.errors import CodecError, ConfigurationError
 from repro.traces.trace import DEFAULT_CHUNK_ADDRESSES, AddressTrace, as_address_array
 
@@ -67,6 +67,11 @@ class AtcEncoder:
             In lossless mode only ``chunk_buffer_addresses`` and ``backend``
             are used (each bytesort buffer becomes a chunk).
         suffix: Chunk file suffix; defaults to the back-end name.
+        executor: Execution strategy for the chunk pipeline — a name
+            (``"serial"``/``"thread"``/``"process"``) or a live
+            :class:`~repro.core.executors.Executor` to share across
+            encoders; overrides ``config.executor``.  Containers are
+            byte-identical for every strategy.
     """
 
     def __init__(
@@ -75,6 +80,7 @@ class AtcEncoder:
         mode: str = MODE_LOSSY,
         config: Optional[LossyConfig] = None,
         suffix: Optional[str] = None,
+        executor=None,
     ) -> None:
         if mode not in (MODE_LOSSY, MODE_LOSSLESS):
             raise ConfigurationError(f"encoder mode must be 'k' or 'c', got {mode!r}")
@@ -101,11 +107,14 @@ class AtcEncoder:
         # buffer, or of the caller's array in :meth:`code_many`).
         self._buffer = np.empty(self._flush_threshold, dtype=np.uint64)
         self._buffered = 0
-        # Ordered parallel chunk pipeline: with config.workers > 1, chunk
-        # payloads are compressed on a thread pool and written back to the
-        # container in submission order; with 1 worker it runs inline.
+        # Ordered parallel chunk pipeline: chunk payloads are compressed on
+        # the selected executor (threads, or processes with shared-memory
+        # chunk transport) and written back to the container in submission
+        # order; on the serial default it runs inline.
         self._pipeline = OrderedChunkWriter(
-            self.container.write_chunk, workers=self.config.workers
+            self.container.write_chunk,
+            workers=self.config.workers,
+            executor=executor if executor is not None else self.config.executor,
         )
 
     # -- context manager ------------------------------------------------------------------
@@ -206,10 +215,16 @@ class AtcEncoder:
             self._records.append(
                 IntervalRecord(kind="chunk", chunk_id=chunk_id, length=int(interval.size))
             )
-        if self._pipeline.workers > 1:
+        if not self._pipeline.decouples_at_submit(interval.nbytes):
+            # Thread pools (and sub-threshold process submissions) hold a
+            # reference to the caller's memory past submit; the serial path
+            # and large shared-memory exports are decoupled synchronously,
+            # so only the paths that need an owned copy pay for one.
             interval = np.array(interval, dtype=np.uint64, copy=True)
-        codec = self._chunk_codec
-        self._pipeline.submit(chunk_id, lambda data=interval: codec.compress(data))
+        # Submitted as (fn, array) rather than a closure so the process
+        # executor can pickle the codec's bound method and park the interval
+        # array in shared memory.
+        self._pipeline.submit(chunk_id, self._chunk_codec.compress, interval)
 
     def close(self) -> None:
         """Flush the pending interval, drain the pipeline, write INFO."""
@@ -239,6 +254,56 @@ class AtcEncoder:
         return self._total
 
 
+#: Per-process memo of (container handle, codec) pairs for chunk loading.
+#: A process worker receives a freshly unpickled :class:`_ChunkLoader` per
+#: task, so instance-level caching would rebuild the container every call;
+#: this module-level cache (one per worker interpreter) makes the rebuild
+#: once-per-worker.  Bounded so a long-lived worker touching many
+#: containers cannot grow it without limit.
+_CHUNK_LOADER_STATE: "OrderedDict[tuple, tuple]" = OrderedDict()
+_CHUNK_LOADER_STATE_MAX = 8
+
+
+def _chunk_loader_state(directory: str, backend: str, suffix, buffer_addresses: int) -> tuple:
+    key = (directory, backend, suffix, buffer_addresses)
+    state = _CHUNK_LOADER_STATE.get(key)
+    if state is None:
+        state = (
+            AtcContainer(directory, backend=backend, suffix=suffix),
+            LosslessCodec(buffer_addresses=buffer_addresses, backend=backend),
+        )
+        _CHUNK_LOADER_STATE[key] = state
+        while len(_CHUNK_LOADER_STATE) > _CHUNK_LOADER_STATE_MAX:
+            _CHUNK_LOADER_STATE.popitem(last=False)
+    else:
+        _CHUNK_LOADER_STATE.move_to_end(key)
+    return state
+
+
+class _ChunkLoader:
+    """Picklable read+decompress task for one container's chunks.
+
+    The decoder's prefetch fan-out ships this tiny object (directory,
+    back-end name, suffix, bytesort buffer size) to its executor instead of
+    the decoder itself; in a process worker the container handle and codec
+    are memoised per interpreter (:func:`_chunk_loader_state`), and the
+    decoded ``uint64`` arrays travel back through shared memory.
+    """
+
+    def __init__(self, directory, backend: str, suffix: Optional[str], buffer_addresses: int) -> None:
+        self.directory = str(directory)
+        self.backend = backend
+        self.suffix = suffix
+        self.buffer_addresses = int(buffer_addresses)
+
+    def __call__(self, chunk_id: int) -> np.ndarray:
+        """Read and decompress one chunk (pure; safe in any worker)."""
+        container, codec = _chunk_loader_state(
+            self.directory, self.backend, self.suffix, self.buffer_addresses
+        )
+        return codec.decompress(container.read_chunk(chunk_id))
+
+
 class AtcDecoder:
     """Decoder for ATC container directories (lossy or lossless).
 
@@ -255,6 +320,10 @@ class AtcDecoder:
             containers reference the same chunk from many imitation
             records, so a small bounded cache replaces re-decoding without
             the unbounded memory growth a plain dict would have.
+        executor: Execution strategy for the prefetch/bulk-decode fan-out —
+            a name or a live :class:`~repro.core.executors.Executor`;
+            ``None`` falls back to ``REPRO_EXECUTOR``/auto.  The decoded
+            output never depends on the strategy.
     """
 
     #: Default capacity of the decoded-chunk LRU cache.
@@ -267,6 +336,7 @@ class AtcDecoder:
         suffix: Optional[str] = None,
         workers: int = 1,
         cache_chunks: int = DEFAULT_CACHE_CHUNKS,
+        executor=None,
     ) -> None:
         # The chunk-file suffix names the back-end on disk (INFO.bz2,
         # INFO.zlib, ...), so an unspecified back-end is detected from it.
@@ -287,6 +357,13 @@ class AtcDecoder:
             backend=self.container.backend,
         )
         self._workers = resolve_workers(workers)
+        self._executor_spec = executor
+        self._loader = _ChunkLoader(
+            self.container.path,
+            self.container.backend.name,
+            self.container.suffix,
+            int(metadata.get("chunk_buffer_addresses", 1_000_000)),
+        )
         if cache_chunks < 1:
             raise ConfigurationError("cache_chunks must be >= 1")
         # The prefetch lookahead must fit in the cache, or a prefetched
@@ -319,38 +396,62 @@ class AtcDecoder:
     def _interval_piece(self, record: IntervalRecord, source: np.ndarray) -> np.ndarray:
         return materialize_interval(record, source)
 
+    def _prefetch_wanted(self) -> bool:
+        """True when iteration should prefetch chunks on an executor.
+
+        ``executor_kind`` consults ``REPRO_EXECUTOR`` for a ``None`` spec,
+        so the environment knob enables prefetch here exactly like it does
+        at every other fan-out site.
+        """
+        if len(self.records) <= 1:
+            return False
+        if self._workers > 1:
+            return True
+        from repro.core.parallel import executor_kind
+
+        return executor_kind(self._executor_spec) in ("thread", "process")
+
+    def _load_task(self, engine: "Executor"):
+        """The chunk-load callable to ship to ``engine``.
+
+        Thread and serial engines reuse this decoder's container handle and
+        codec directly; the process engine gets the slim picklable
+        :class:`_ChunkLoader` instead (the decoder itself holds an
+        unbounded cache and open state that must not cross the pipe).
+        """
+        return self._loader if engine.name == "process" else self._load_chunk
+
     def iter_intervals(self) -> Iterator[np.ndarray]:
         """Yield the decoded address array of every interval, in order.
 
-        With ``workers > 1`` the chunks of upcoming intervals are
-        prefetched (read and decompressed) on a thread pool while earlier
-        intervals are being consumed; the yielded sequence is identical to
-        the serial one.
+        With ``workers > 1`` (or a parallel ``executor``) the chunks of
+        upcoming intervals are prefetched — read and decompressed — on the
+        selected executor while earlier intervals are being consumed; the
+        yielded sequence is identical to the serial one.
         """
-        if self._workers > 1 and len(self.records) > 1:
+        if self._prefetch_wanted():
             yield from self._iter_intervals_prefetch()
             return
         for record in self.records:
             yield self._interval_piece(record, self._chunk_addresses(record.chunk_id))
 
     def _iter_intervals_prefetch(self) -> Iterator[np.ndarray]:
-        from concurrent.futures import ThreadPoolExecutor
-
-        with ThreadPoolExecutor(max_workers=self._workers) as pool:
-            futures = {}
+        with executor_scope(self._executor_spec, self._workers) as engine:
+            load = self._load_task(engine)
+            handles = {}
             try:
                 for index, record in enumerate(self.records):
                     for upcoming in self.records[index : index + self._lookahead]:
                         chunk_id = upcoming.chunk_id
-                        if chunk_id not in futures and chunk_id not in self._chunk_cache:
-                            futures[chunk_id] = pool.submit(self._load_chunk, chunk_id)
-                    future = futures.pop(record.chunk_id, None)
-                    if future is not None:
-                        self._store_chunk(record.chunk_id, future.result())
+                        if chunk_id not in handles and chunk_id not in self._chunk_cache:
+                            handles[chunk_id] = engine.submit(load, chunk_id)
+                    handle = handles.pop(record.chunk_id, None)
+                    if handle is not None:
+                        self._store_chunk(record.chunk_id, handle.result())
                     yield self._interval_piece(record, self._chunk_addresses(record.chunk_id))
             finally:
-                for future in futures.values():
-                    future.cancel()
+                for handle in handles.values():
+                    handle.cancel()
 
     def iter_chunks(self, chunk_addresses: int = DEFAULT_CHUNK_ADDRESSES) -> Iterator[np.ndarray]:
         """Yield the decoded trace as fixed-size address chunks, in order.
@@ -397,7 +498,10 @@ class AtcDecoder:
             if chunk_id in self._chunk_cache
         }
         missing = [chunk_id for chunk_id in needed if chunk_id not in decoded]
-        decoded.update(zip(missing, map_ordered(self._load_chunk, missing, workers=self._workers)))
+        if missing:
+            with executor_scope(self._executor_spec, self._workers) as engine:
+                loaded = engine.map_ordered(self._load_task(engine), missing)
+            decoded.update(zip(missing, loaded))
         return [self._interval_piece(record, decoded[record.chunk_id]) for record in self.records]
 
     def __iter__(self) -> Iterator[int]:
@@ -451,6 +555,7 @@ def atc_open(
     config: Optional[LossyConfig] = None,
     suffix: Optional[str] = None,
     workers: int = 1,
+    executor=None,
 ) -> Union[AtcEncoder, AtcDecoder]:
     """Open an ATC container, mirroring the paper's ``atc_open`` entry point.
 
@@ -462,11 +567,13 @@ def atc_open(
             ``workers`` field controls encoder parallelism).
         suffix: Chunk file suffix override.
         workers: Chunk-prefetch parallelism for decode mode.
+        executor: Execution strategy (name or instance) for either mode's
+            fan-out; ``None`` = config / environment default.
     """
     if mode == MODE_DECODE:
-        return AtcDecoder(directory, suffix=suffix, workers=workers)
+        return AtcDecoder(directory, suffix=suffix, workers=workers, executor=executor)
     if mode in (MODE_LOSSY, MODE_LOSSLESS):
-        return AtcEncoder(directory, mode=mode, config=config, suffix=suffix)
+        return AtcEncoder(directory, mode=mode, config=config, suffix=suffix, executor=executor)
     raise ConfigurationError(f"atc_open mode must be 'k', 'c' or 'd', got {mode!r}")
 
 
@@ -497,12 +604,12 @@ def compress_trace(
     config = config if config is not None else LossyConfig()
     with AtcEncoder(directory, mode=mode, config=config) as encoder:
         encoder.code_many(values)
-    return AtcDecoder(directory, workers=config.workers)
+    return AtcDecoder(directory, workers=config.workers, executor=config.executor)
 
 
-def decompress_trace(directory, workers: int = 1) -> np.ndarray:
+def decompress_trace(directory, workers: int = 1, executor=None) -> np.ndarray:
     """Decode an ATC container directory into an address array."""
-    return AtcDecoder(directory, workers=workers).read_all()
+    return AtcDecoder(directory, workers=workers, executor=executor).read_all()
 
 
 def compress_stream(
@@ -521,11 +628,11 @@ def compress_stream(
     config = config if config is not None else LossyConfig()
     with AtcEncoder(directory, mode=mode, config=config) as encoder:
         encoder.encode_stream(chunks)
-    return AtcDecoder(directory, workers=config.workers)
+    return AtcDecoder(directory, workers=config.workers, executor=config.executor)
 
 
 def decompress_stream(
-    directory, chunk_addresses: int = DEFAULT_CHUNK_ADDRESSES, workers: int = 1
+    directory, chunk_addresses: int = DEFAULT_CHUNK_ADDRESSES, workers: int = 1, executor=None
 ) -> Iterator[np.ndarray]:
     """Decode an ATC container as a bounded-memory address-chunk stream.
 
@@ -533,4 +640,4 @@ def decompress_stream(
     chunks equal ``decompress_trace(directory)`` exactly, but peak memory
     is bounded by the chunk size plus one decoded interval.
     """
-    return AtcDecoder(directory, workers=workers).iter_chunks(chunk_addresses)
+    return AtcDecoder(directory, workers=workers, executor=executor).iter_chunks(chunk_addresses)

@@ -56,23 +56,26 @@ class LosslessCodec:
         header = _HEADER.pack(_MAGIC, 1, int(values.size), int(self.buffer_addresses))
         return header + payload
 
-    def compress_many(self, intervals, workers: int = 1) -> list:
+    def compress_many(self, intervals, workers: int = 1, executor=None) -> list:
         """Compress several address sequences, preserving input order.
 
-        With ``workers > 1`` the intervals are compressed on a thread pool
-        (the stdlib byte-level codecs release the GIL), which is the bulk
-        entry point of the parallel chunk pipeline.  The result is
-        byte-identical to ``[self.compress(i) for i in intervals]``.
+        The bulk entry point of the parallel chunk pipeline: with
+        ``workers > 1`` (or an explicit ``executor``) the intervals are
+        compressed concurrently — on threads (the stdlib byte-level codecs
+        release the GIL) or, with the process executor, on other cores with
+        the interval arrays and compressed payloads moved through shared
+        memory.  The result is byte-identical to
+        ``[self.compress(i) for i in intervals]`` for every strategy.
         """
         from repro.core.parallel import map_ordered
 
-        return map_ordered(self.compress, list(intervals), workers=workers)
+        return map_ordered(self.compress, list(intervals), workers=workers, executor=executor)
 
-    def decompress_many(self, payloads, workers: int = 1) -> list:
+    def decompress_many(self, payloads, workers: int = 1, executor=None) -> list:
         """Decompress several payloads, preserving input order (see above)."""
         from repro.core.parallel import map_ordered
 
-        return map_ordered(self.decompress, list(payloads), workers=workers)
+        return map_ordered(self.decompress, list(payloads), workers=workers, executor=executor)
 
     def decompress(self, payload: bytes) -> np.ndarray:
         """Invert :meth:`compress`."""

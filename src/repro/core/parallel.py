@@ -1,80 +1,121 @@
-"""Ordered parallel execution helpers for the chunk-compression pipeline.
+"""Ordered parallel primitives of the chunk pipeline, on the executor engine.
 
 The paper's ATC tool overlaps compression with trace generation by piping
 bytesorted blocks through an external ``bzip2 -c`` process; the operating
 system runs the compressor on another core.  This module reproduces that
-overlap in-process: the standard-library codecs (``bz2``, ``zlib``,
-``lzma``) all release the GIL while (de)compressing, so a small thread pool
-compresses several chunks concurrently while the encoder keeps consuming
-addresses.
+overlap in-process on top of the pluggable executor engine
+(:mod:`repro.core.executors`): work can run inline (``serial``), on a
+thread pool (``thread`` — the stdlib codecs release the GIL), or on a
+process pool with shared-memory chunk transport (``process`` — true
+multi-core for the pure-Python hot loops).
 
-Two primitives are provided:
+Two primitives are provided on top of the engine:
 
-* :func:`map_ordered` — a bounded ``map`` over a thread pool that preserves
-  input order (used for bulk chunk compression and decoder prefetch).
+* :func:`map_ordered` — a bounded ``map`` that preserves input order (used
+  for bulk chunk compression, decoder prefetch, sweep cells).
 * :class:`OrderedChunkWriter` — a streaming pipeline stage: submit
-  ``(chunk_id, task)`` pairs as chunk boundaries are reached; completed
-  payloads are written back strictly in submission order, and at most
-  ``max_pending`` chunks are in flight so memory stays bounded.
+  ``(chunk_id, fn, args)`` triples as chunk boundaries are reached;
+  completed payloads are written back strictly in submission order, and at
+  most ``max_pending`` chunks are in flight so memory stays bounded.
 
-Both degrade to plain synchronous execution when ``workers <= 1``, which
-keeps the serial path free of thread-pool overhead and makes the
-byte-identity invariant (parallel output == serial output) easy to test.
+Both degrade to plain synchronous execution on the serial executor, which
+keeps the default path free of pool overhead and makes the byte-identity
+invariant (parallel output == serial output) easy to test.  The executor
+is selected per call site (``executor=`` accepts a strategy name or a live
+:class:`~repro.core.executors.Executor` to share), falling back to the
+``REPRO_EXECUTOR`` environment variable and the worker-count heuristic —
+see :func:`~repro.core.executors.resolve_executor`.
 """
 
 from __future__ import annotations
 
-import os
 from collections import deque
-from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Deque, List, Optional, Sequence, Tuple, TypeVar
 
+from repro.core.executors import (
+    EXECUTOR_NAMES,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    TaskHandle,
+    ThreadExecutor,
+    default_mp_context,
+    executor_kind,
+    executor_scope,
+    resolve_executor,
+    resolve_workers,
+)
 from repro.errors import ConfigurationError
 
-__all__ = ["resolve_workers", "map_ordered", "OrderedChunkWriter"]
+__all__ = [
+    "EXECUTOR_NAMES",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "TaskHandle",
+    "resolve_workers",
+    "resolve_executor",
+    "executor_scope",
+    "executor_kind",
+    "default_mp_context",
+    "map_ordered",
+    "OrderedChunkWriter",
+]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
 
 
-def resolve_workers(workers: Optional[int]) -> int:
-    """Normalise a worker-count knob to a concrete positive integer.
-
-    ``None`` and ``0`` mean "one worker per available CPU"; any positive
-    integer is taken literally; negative values are rejected.
-    """
-    if workers is None or workers == 0:
-        return os.cpu_count() or 1
-    if not isinstance(workers, int) or workers < 0:
-        raise ConfigurationError(f"workers must be a non-negative integer or None, got {workers!r}")
-    return workers
-
-
-def map_ordered(fn: Callable[[_T], _R], items: Sequence[_T], workers: int = 1) -> List[_R]:
+def map_ordered(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    workers: int = 1,
+    executor=None,
+) -> List[_R]:
     """Apply ``fn`` to every item, in parallel, preserving input order.
 
-    With ``workers <= 1`` (or fewer than two items) this is a plain list
-    comprehension; otherwise a thread pool of ``workers`` threads is used
-    and the results come back in input order, like ``Executor.map``.
+    With one worker (or fewer than two items) and no explicit executor this
+    is a plain list comprehension; otherwise the work runs on the resolved
+    executor — threads by default, processes when selected via ``executor``
+    or ``REPRO_EXECUTOR`` (in which case ``fn`` and the items must be
+    picklable; bulk arrays and byte strings ride shared memory).
+
+    Args:
+        fn: The per-item function.
+        items: The inputs, fully materialised.
+        workers: Pool size for executors created here (``0``/``None`` = one
+            per CPU).
+        executor: Strategy name, :class:`Executor` instance to borrow, or
+            ``None`` for the environment/auto default.
     """
     items = list(items)
-    if workers <= 1 or len(items) <= 1:
+    if len(items) <= 1:
         return [fn(item) for item in items]
-    with ThreadPoolExecutor(max_workers=min(workers, len(items))) as pool:
-        return list(pool.map(fn, items))
+    # Inline only when nothing asked for parallelism: no explicit executor,
+    # one worker, and no REPRO_EXECUTOR override (executor_kind consults the
+    # environment for a None spec) — so the env knob flips this site too.
+    if executor is None and resolve_workers(workers) <= 1 and executor_kind(None) == "auto":
+        return [fn(item) for item in items]
+    with executor_scope(executor, workers) as engine:
+        return engine.map_ordered(fn, items)
 
 
 class OrderedChunkWriter:
-    """Compress chunks on a thread pool, writing results in submission order.
+    """Run chunk tasks on an executor, writing results in submission order.
 
     Args:
         write: Callback ``write(chunk_id, payload)`` invoked on the caller's
             thread, strictly in the order chunks were submitted.
-        workers: Number of compression threads; ``1`` disables threading and
-            runs every task synchronously (the serial reference behaviour).
+        workers: Pool size when the writer creates its own executor; ``1``
+            (with no explicit ``executor``) selects inline serial execution,
+            the reference behaviour.
         max_pending: Maximum number of chunks in flight before :meth:`submit`
             blocks on the oldest one (defaults to ``2 * workers``), bounding
             the memory held by buffered intervals and finished payloads.
+        executor: Strategy name or live :class:`Executor` to run tasks on; a
+            borrowed instance is left open on close, an executor created
+            here is shut down with the writer.
     """
 
     def __init__(
@@ -82,32 +123,52 @@ class OrderedChunkWriter:
         write: Callable[[int, bytes], object],
         workers: int = 1,
         max_pending: Optional[int] = None,
+        executor=None,
     ) -> None:
-        if workers < 1:
+        if isinstance(workers, int) and workers < 1 and executor is None:
             raise ConfigurationError("OrderedChunkWriter needs at least one worker")
         self._write = write
-        self.workers = workers
-        self._max_pending = max_pending if max_pending is not None else 2 * workers
-        self._executor: Optional[ThreadPoolExecutor] = (
-            ThreadPoolExecutor(max_workers=workers) if workers > 1 else None
-        )
-        self._pending: Deque[Tuple[int, "Future[bytes]"]] = deque()
+        self._owns_executor = not isinstance(executor, Executor)
+        self._executor = resolve_executor(executor, workers)
+        self.workers = self._executor.workers if self._executor.is_async else 1
+        self._max_pending = max_pending if max_pending is not None else 2 * max(1, self.workers)
+        self._pending: Deque[Tuple[int, TaskHandle]] = deque()
         self._closed = False
 
-    def submit(self, chunk_id: int, task: Callable[[], bytes]) -> None:
-        """Queue one chunk; ``task()`` produces its compressed payload."""
+    @property
+    def is_async(self) -> bool:
+        """True when tasks may still be running after :meth:`submit` returns.
+
+        Callers must hand such writers owned arguments (the encoder copies
+        interval views before submitting); on the inline serial path buffer
+        reuse is safe.
+        """
+        return self._executor.is_async
+
+    def decouples_at_submit(self, nbytes: int) -> bool:
+        """Whether an ``nbytes`` array is safe to reuse after :meth:`submit`
+        (see :meth:`repro.core.executors.Executor.decouples_at_submit`)."""
+        return self._executor.decouples_at_submit(nbytes)
+
+    def submit(self, chunk_id: int, task: Callable[..., bytes], *args) -> None:
+        """Queue one chunk; ``task(*args)`` produces its compressed payload.
+
+        On the process executor ``task`` and ``args`` must be picklable;
+        bulk arrays among ``args`` are parked in shared memory before this
+        returns (see :meth:`repro.core.executors.ProcessExecutor.submit`).
+        """
         if self._closed:
             raise ConfigurationError("cannot submit chunks to a closed OrderedChunkWriter")
-        if self._executor is None:
-            self._write(chunk_id, task())
+        if not self._executor.is_async:
+            self._write(chunk_id, task(*args))
             return
-        self._pending.append((chunk_id, self._executor.submit(task)))
+        self._pending.append((chunk_id, self._executor.submit(task, *args)))
         while len(self._pending) > self._max_pending:
             self._drain_one()
 
     def _drain_one(self) -> None:
-        chunk_id, future = self._pending.popleft()
-        self._write(chunk_id, future.result())
+        chunk_id, handle = self._pending.popleft()
+        self._write(chunk_id, handle.result())
 
     def close(self) -> None:
         """Drain every in-flight chunk (in order) and shut the pool down."""
@@ -118,19 +179,23 @@ class OrderedChunkWriter:
             while self._pending:
                 self._drain_one()
         finally:
-            if self._executor is not None:
-                self._executor.shutdown(wait=True)
-                self._executor = None
+            if self._owns_executor:
+                self._executor.close()
 
     def cancel(self) -> None:
-        """Drop all in-flight chunks without writing them (error path)."""
+        """Drop all in-flight chunks without writing them (error path).
+
+        Queued-but-unstarted tasks are cancelled; finished results are
+        discarded (including their shared-memory segments); the pool is
+        reaped.  A borrowed executor is left open but its pending handles
+        are cancelled.
+        """
         self._closed = True
+        for _, handle in self._pending:
+            handle.cancel()
         self._pending.clear()
-        if self._executor is not None:
-            # cancel_futures keeps queued-but-unstarted compressions from
-            # running to completion just to be discarded (Python >= 3.9).
-            self._executor.shutdown(wait=True, cancel_futures=True)
-            self._executor = None
+        if self._owns_executor:
+            self._executor.close(cancel=True)
 
     def __enter__(self) -> "OrderedChunkWriter":
         return self

@@ -1,0 +1,264 @@
+"""Shared-memory transport for the process executor's bulk payloads.
+
+The process executor (:mod:`repro.core.executors`) moves work between
+interpreters, and the work of this library is dominated by two bulk types:
+``uint64`` address chunks (NumPy arrays) and compressed chunk payloads
+(``bytes``).  Pickling either through the multiprocessing pipe copies the
+data twice (serialise + deserialise) and funnels it through a byte stream;
+for multi-megabyte chunks that overhead erases most of the multi-core win.
+
+This module implements the zero-pickle-copy alternative on top of
+:mod:`multiprocessing.shared_memory`:
+
+* :func:`export_value` walks a value (recursing through lists, tuples and
+  dicts), lifts every large ``numpy.ndarray`` / ``bytes`` object into a
+  fresh shared-memory segment, and replaces it with a tiny picklable
+  *handle* (:class:`ShmArrayHandle` / :class:`ShmBytesHandle`) naming the
+  segment.  Only the handles travel through the pickle pipe.
+* :func:`import_value` is the inverse: it attaches to each named segment,
+  copies the payload back out into a regular array / bytes object, closes
+  the mapping, and (on the final consumer's side) unlinks the segment.
+
+Lifecycle contract — the key to "no leaked segments":
+
+1. the **sender** creates the segments (``export_value``) and is
+   responsible for unlinking them if the transfer is abandoned
+   (:func:`release_segments`);
+2. the **receiver** attaches, copies, closes, and — when ``unlink=True`` —
+   unlinks, ending the segment's life;
+3. exactly one side unlinks each segment, and every mapping is closed as
+   soon as the copy is done, so no segment outlives the task that shipped
+   it.
+
+Payloads smaller than :data:`SHM_MIN_BYTES` are left in place and travel
+through the ordinary pickle path: a shared-memory segment costs a few
+system calls, which dwarfs the pickle cost of a small object.  The
+threshold is overridable through the ``REPRO_SHM_MIN_BYTES`` environment
+variable (``0`` forces every array and byte string through shared memory,
+which the tests use to exercise the transport).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SHM_MIN_BYTES",
+    "ShmArrayHandle",
+    "ShmBytesHandle",
+    "shm_min_bytes",
+    "export_value",
+    "import_value",
+    "release_segments",
+    "discard_exported",
+]
+
+#: Default minimum payload size (in bytes) moved through shared memory;
+#: smaller objects ride the ordinary pickle pipe.
+SHM_MIN_BYTES = 1 << 14
+
+
+def shm_min_bytes() -> int:
+    """The active shared-memory threshold (``REPRO_SHM_MIN_BYTES`` wins)."""
+    raw = os.environ.get("REPRO_SHM_MIN_BYTES")
+    if raw is None:
+        return SHM_MIN_BYTES
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return SHM_MIN_BYTES
+
+
+def _create_segment(nbytes: int) -> shared_memory.SharedMemory:
+    """Create a fresh segment, asking Python >= 3.13 not to double-track it.
+
+    The creating side of this transport always unlinks its segments
+    deterministically (either the receiver consumes them or
+    :func:`release_segments` reclaims them), so the resource tracker's
+    safety net is redundant; on 3.13+ opting out silences the spurious
+    "leaked shared_memory objects" warning the tracker prints when a
+    segment it registered was unlinked by the *other* process.
+    """
+    size = max(1, int(nbytes))
+    try:
+        return shared_memory.SharedMemory(create=True, size=size, track=False)
+    except TypeError:  # Python < 3.13: no ``track`` parameter
+        return shared_memory.SharedMemory(create=True, size=size)
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        return shared_memory.SharedMemory(name=name)
+
+
+@dataclass(frozen=True)
+class ShmArrayHandle:
+    """Picklable reference to a NumPy array parked in a shared segment.
+
+    Attributes:
+        name: Shared-memory segment name.
+        shape: Array shape to rebuild on the receiving side.
+        dtype: Array dtype string (``numpy.dtype.str``, endian-explicit).
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+    def load(self, unlink: bool) -> np.ndarray:
+        """Attach, copy the array out, close, optionally unlink."""
+        segment = _attach_segment(self.name)
+        try:
+            view = np.ndarray(self.shape, dtype=np.dtype(self.dtype), buffer=segment.buf)
+            return np.array(view, copy=True)
+        finally:
+            segment.close()
+            if unlink:
+                segment.unlink()
+
+
+@dataclass(frozen=True)
+class ShmBytesHandle:
+    """Picklable reference to a byte string parked in a shared segment.
+
+    Attributes:
+        name: Shared-memory segment name.
+        length: Payload length (the segment may be rounded up by the OS).
+    """
+
+    name: str
+    length: int
+
+    def load(self, unlink: bool) -> bytes:
+        """Attach, copy the bytes out, close, optionally unlink."""
+        segment = _attach_segment(self.name)
+        try:
+            return bytes(segment.buf[: self.length])
+        finally:
+            segment.close()
+            if unlink:
+                segment.unlink()
+
+
+def _export_array(array: np.ndarray, segments: List[shared_memory.SharedMemory]) -> ShmArrayHandle:
+    contiguous = np.ascontiguousarray(array)
+    segment = _create_segment(contiguous.nbytes)
+    segments.append(segment)
+    target = np.ndarray(contiguous.shape, dtype=contiguous.dtype, buffer=segment.buf)
+    target[...] = contiguous
+    return ShmArrayHandle(name=segment.name, shape=tuple(contiguous.shape), dtype=contiguous.dtype.str)
+
+
+def _export_bytes(payload: bytes, segments: List[shared_memory.SharedMemory]) -> ShmBytesHandle:
+    segment = _create_segment(len(payload))
+    segments.append(segment)
+    segment.buf[: len(payload)] = payload
+    return ShmBytesHandle(name=segment.name, length=len(payload))
+
+
+def export_value(value, segments: List[shared_memory.SharedMemory], threshold: int = -1):
+    """Replace large arrays / byte strings in ``value`` with segment handles.
+
+    Recurses through lists, tuples and dicts (the containers the executor's
+    task arguments and results are built from); every other object is
+    returned unchanged and travels through the ordinary pickle pipe.  Each
+    created :class:`multiprocessing.shared_memory.SharedMemory` is appended
+    to ``segments`` — the caller owns them until the receiver consumes the
+    transfer (see the module docstring's lifecycle contract).
+
+    Args:
+        value: Arbitrary task argument or result.
+        segments: Output list collecting the created segments.
+        threshold: Minimum payload size in bytes; ``-1`` means "use
+            :func:`shm_min_bytes`".
+    """
+    limit = shm_min_bytes() if threshold < 0 else threshold
+    if isinstance(value, np.ndarray):
+        if value.nbytes >= limit:
+            return _export_array(value, segments)
+        return value
+    if isinstance(value, (bytes, bytearray)):
+        if len(value) >= limit:
+            return _export_bytes(bytes(value), segments)
+        return value
+    if isinstance(value, tuple):
+        return tuple(export_value(item, segments, limit) for item in value)
+    if isinstance(value, list):
+        return [export_value(item, segments, limit) for item in value]
+    if isinstance(value, dict):
+        return {key: export_value(item, segments, limit) for key, item in value.items()}
+    return value
+
+
+def import_value(value, unlink: bool):
+    """Inverse of :func:`export_value`: resolve handles back into payloads.
+
+    With ``unlink=True`` (the final consumer) every visited segment is
+    unlinked after its payload is copied out, ending its life; with
+    ``unlink=False`` (an intermediate hop, e.g. the worker reading its
+    arguments) the segment is left for the owner to reclaim.
+    """
+    if isinstance(value, (ShmArrayHandle, ShmBytesHandle)):
+        return value.load(unlink)
+    if isinstance(value, tuple):
+        return tuple(import_value(item, unlink) for item in value)
+    if isinstance(value, list):
+        return [import_value(item, unlink) for item in value]
+    if isinstance(value, dict):
+        return {key: import_value(item, unlink) for key, item in value.items()}
+    return value
+
+
+def release_segments(segments: List[shared_memory.SharedMemory]) -> None:
+    """Close and unlink every segment, swallowing already-gone errors.
+
+    Used by the sender to reclaim argument segments once the worker is done
+    with them (or when a task is abandoned), and by error paths: unlinking
+    twice or unlinking a segment the receiver already consumed must never
+    mask the original failure.
+    """
+    for segment in segments:
+        try:
+            segment.close()
+        except (OSError, ValueError):
+            pass
+        try:
+            segment.unlink()
+        except (FileNotFoundError, OSError, ValueError):
+            pass
+    segments.clear()
+
+
+def discard_exported(value) -> None:
+    """Unlink every segment referenced by an exported (packed) value.
+
+    The receiver-side counterpart of :func:`release_segments`: when a
+    completed task's packed *result* is never consumed (the pipeline was
+    cancelled after the worker finished), the parent walks the packed value
+    and unlinks the worker-created segments without paying for the copy.
+    """
+    if isinstance(value, (ShmArrayHandle, ShmBytesHandle)):
+        try:
+            segment = _attach_segment(value.name)
+        except FileNotFoundError:
+            return
+        segment.close()
+        try:
+            segment.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+        return
+    if isinstance(value, (tuple, list)):
+        for item in value:
+            discard_exported(item)
+        return
+    if isinstance(value, dict):
+        for item in value.values():
+            discard_exported(item)

@@ -26,3 +26,22 @@ class CodecError(ReproError):
 
 class ConfigurationError(ReproError):
     """A simulator, workload or codec received an invalid configuration."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark report is malformed or a comparison was set up wrongly.
+
+    Raised by :mod:`repro.bench` when a report fails schema validation or
+    when two reports cannot be compared (e.g. they were run at different
+    scales).  A *regression* is not an error — the comparator reports it as
+    a failed check so callers can render every verdict before exiting.
+    """
+
+
+class ParallelExecutionError(ReproError):
+    """A parallel worker died unexpectedly (crash, kill or broken pipe).
+
+    Raised by the executor engine (:mod:`repro.core.executors`) in place of
+    the raw pool-internal errors, after the pool has been shut down and its
+    children reaped, so callers see one clear failure instead of a cascade.
+    """

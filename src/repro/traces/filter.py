@@ -29,7 +29,9 @@ __all__ = [
     "StreamingCacheFilter",
     "FilterResult",
     "filter_reference_stream",
+    "filter_reference_streams",
     "filtered_spec_like_trace",
+    "filter_spec_like_traces",
     "iter_filtered_spec_like_chunks",
 ]
 
@@ -228,6 +230,46 @@ def filter_reference_stream(
     return CacheFilter(instruction_config, data_config).filter(stream)
 
 
+def _filter_stream_task(task) -> FilterResult:
+    """Picklable per-stream batch-filter cell (runs in any executor worker)."""
+    stream, instruction_config, data_config = task
+    return filter_reference_stream(stream, instruction_config, data_config)
+
+
+def filter_reference_streams(
+    streams,
+    instruction_config: CacheConfig = PAPER_L1_CONFIG,
+    data_config: CacheConfig = PAPER_L1_CONFIG,
+    workers: int = 1,
+    executor=None,
+):
+    """Batch-filter several independent reference streams, in input order.
+
+    Each stream is filtered through its own fresh L1I/L1D pair (streams are
+    independent workloads, exactly the paper's per-benchmark setup), so the
+    cells can fan out on the executor engine — including the process
+    executor, where cache simulation is a pure-Python/numpy hot loop that
+    otherwise serialises on the GIL.  The per-stream results are identical
+    to ``[filter_reference_stream(s, ...) for s in streams]`` for every
+    strategy.
+
+    Args:
+        streams: Iterable of :class:`~repro.traces.synthetic.ReferenceStream`.
+        instruction_config: L1I geometry applied to every stream.
+        data_config: L1D geometry applied to every stream.
+        workers: Concurrent cells (``0``/``None`` = one per CPU).
+        executor: Strategy name, live executor, or ``None`` for the
+            environment/auto default.
+
+    Returns:
+        ``List[FilterResult]`` in the order the streams were given.
+    """
+    from repro.core.parallel import map_ordered
+
+    tasks = [(stream, instruction_config, data_config) for stream in streams]
+    return map_ordered(_filter_stream_task, tasks, workers=workers, executor=executor)
+
+
 def filtered_spec_like_trace(
     name: str,
     reference_count: int,
@@ -261,6 +303,67 @@ def filtered_spec_like_trace(
 
     stream = generate_reference_stream(name, reference_count, seed=seed)
     return filter_reference_stream(stream, instruction_config, data_config).trace
+
+
+def _spec_like_trace_task(task):
+    """Picklable generate+filter cell: returns ``(name, miss_blocks)``.
+
+    The bulk payload is returned as a bare ``uint64`` array so the process
+    executor ships it back through shared memory; the caller re-wraps it
+    into an :class:`~repro.traces.trace.AddressTrace`.
+    """
+    name, reference_count, seed, instruction_config, data_config = task
+    trace = filtered_spec_like_trace(
+        name,
+        reference_count,
+        seed=seed,
+        instruction_config=instruction_config,
+        data_config=data_config,
+    )
+    return name, trace.addresses
+
+
+def filter_spec_like_traces(
+    names,
+    reference_count: int,
+    seed: int = 0,
+    instruction_config: CacheConfig = PAPER_L1_CONFIG,
+    data_config: CacheConfig = PAPER_L1_CONFIG,
+    workers: int = 1,
+    executor=None,
+):
+    """Generate and cache-filter several spec-like workloads concurrently.
+
+    The batch form of :func:`filtered_spec_like_trace` — the whole-suite
+    fan-out the benchmark harness and sweep runner pay for up front.  Each
+    workload is generated and filtered independently (fresh caches per
+    workload), so cells parallelise perfectly; on the process executor the
+    generation + simulation hot loops finally use real cores, and each
+    filtered trace rides shared memory back to the caller.  Results are
+    identical to the serial loop for every strategy.
+
+    Args:
+        names: Workload names, e.g. ``["429.mcf", "462.libquantum"]``.
+        reference_count: Data references generated per workload.
+        seed: Workload RNG seed (same for every workload, like the bench
+            suite).
+        instruction_config: L1I geometry (paper default).
+        data_config: L1D geometry (paper default).
+        workers: Concurrent workloads (``0``/``None`` = one per CPU).
+        executor: Strategy name, live executor, or ``None`` for the
+            environment/auto default.
+
+    Returns:
+        ``Dict[str, AddressTrace]`` keyed by workload name, in input order.
+    """
+    from repro.core.parallel import map_ordered
+
+    tasks = [
+        (str(name), int(reference_count), int(seed), instruction_config, data_config)
+        for name in names
+    ]
+    results = map_ordered(_spec_like_trace_task, tasks, workers=workers, executor=executor)
+    return {name: AddressTrace(addresses, name=name) for name, addresses in results}
 
 
 def iter_filtered_spec_like_chunks(

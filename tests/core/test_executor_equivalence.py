@@ -1,0 +1,142 @@
+"""Cross-executor equivalence: serial vs thread vs process, byte for byte.
+
+The pipeline's hard invariant is that the executor strategy is invisible in
+the output: for every mode (lossless, lossy), every chunk/interval size and
+every strategy, the ``.atc`` container bytes are identical.  This module
+pins that invariant three ways:
+
+* a serial/thread/process matrix over chunk sizes {1, 7, 4096} for both
+  modes, asserting container digests equal;
+* the process executor reproducing the *committed golden fixtures* byte
+  for byte (the strongest anchor: not just self-consistency, but the
+  on-disk format as committed);
+* a hypothesis property run under a shared process executor.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.atc import MODE_LOSSLESS, MODE_LOSSY, AtcDecoder, AtcEncoder
+from repro.core.lossy import LossyConfig
+from repro.core.parallel import ProcessExecutor
+
+from test_golden_containers import (
+    GOLDEN_VARIANTS,
+    golden_addresses,
+    golden_config,
+    golden_directory,
+)
+
+EXECUTORS = ("serial", "thread", "process")
+
+#: (chunk size, trace length): tiny chunks get shorter traces so the
+#: lossless matrix cell stays at hundreds — not thousands — of chunk tasks.
+CHUNK_MATRIX = ((1, 120), (7, 700), (4096, 3000))
+
+
+@pytest.fixture(scope="module")
+def process_executor():
+    """One process pool shared by every matrix cell (startup amortised)."""
+    with ProcessExecutor(2) as executor:
+        yield executor
+
+
+def _digest(directory: Path) -> str:
+    digest = hashlib.sha256()
+    for entry in sorted(directory.iterdir()):
+        digest.update(entry.name.encode())
+        digest.update(entry.read_bytes())
+    return digest.hexdigest()
+
+
+def _encode(trace, directory, mode, chunk, executor) -> str:
+    config = LossyConfig(
+        interval_length=chunk,
+        threshold=0.5,
+        chunk_buffer_addresses=chunk,
+        backend="zlib",
+        workers=2,
+    )
+    with AtcEncoder(directory, mode=mode, config=config, executor=executor) as encoder:
+        encoder.code_many(trace)
+    return _digest(directory)
+
+
+class TestCrossExecutorMatrix:
+    @pytest.mark.parametrize("mode", [MODE_LOSSLESS, MODE_LOSSY])
+    @pytest.mark.parametrize("chunk,length", CHUNK_MATRIX)
+    def test_containers_byte_identical_across_executors(
+        self, tmp_path, process_executor, mode, chunk, length
+    ):
+        trace = golden_addresses()[:length]
+        digests = {}
+        for name in EXECUTORS:
+            directory = tmp_path / f"{mode}-{chunk}-{name}"
+            executor = process_executor if name == "process" else name
+            digests[name] = _encode(trace, directory, mode, chunk, executor)
+        assert digests["thread"] == digests["serial"], (mode, chunk)
+        assert digests["process"] == digests["serial"], (mode, chunk)
+
+    @pytest.mark.parametrize("mode", [MODE_LOSSLESS, MODE_LOSSY])
+    @pytest.mark.parametrize("chunk,length", CHUNK_MATRIX)
+    def test_decode_identical_across_executors(
+        self, tmp_path, process_executor, mode, chunk, length
+    ):
+        trace = golden_addresses()[:length]
+        directory = tmp_path / "container"
+        _encode(trace, directory, mode, chunk, "serial")
+        reference = AtcDecoder(directory, workers=1).read_all()
+        for name in EXECUTORS:
+            executor = process_executor if name == "process" else name
+            decoded = AtcDecoder(directory, workers=2, executor=executor).read_all()
+            assert np.array_equal(decoded, reference), (mode, chunk, name)
+        if mode == MODE_LOSSLESS:
+            assert np.array_equal(reference, trace)
+
+
+class TestProcessExecutorMatchesGoldenFixtures:
+    def test_process_encoder_reproduces_committed_containers(self, tmp_path, process_executor):
+        """The strongest anchor: the process pipeline must reproduce the
+        committed on-disk golden bytes, not merely agree with itself."""
+        for mode_name, mode, backend in GOLDEN_VARIANTS:
+            committed = golden_directory(mode_name, backend)
+            fresh = tmp_path / f"{mode_name}_{backend}"
+            config = golden_config(backend)
+            with AtcEncoder(fresh, mode=mode, config=config, executor=process_executor) as encoder:
+                encoder.code_many(golden_addresses())
+            expected = {entry.name: entry.read_bytes() for entry in sorted(committed.iterdir())}
+            actual = {entry.name: entry.read_bytes() for entry in sorted(fresh.iterdir())}
+            assert actual == expected, f"{mode_name}_{backend} drifted under the process executor"
+
+
+@pytest.fixture(scope="module")
+def property_executor():
+    with ProcessExecutor(2) as executor:
+        yield executor
+
+
+@settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    addresses=st.lists(st.integers(min_value=0, max_value=(1 << 64) - 1), max_size=120),
+    interval_length=st.integers(min_value=1, max_value=31),
+)
+def test_process_roundtrip_property(tmp_path_factory, property_executor, addresses, interval_length):
+    """Lossless process-executor encode/decode is exact for arbitrary traces."""
+    config = LossyConfig(
+        interval_length=interval_length,
+        chunk_buffer_addresses=interval_length,
+        backend="zlib",
+        workers=2,
+    )
+    directory = tmp_path_factory.mktemp("prop") / "container"
+    with AtcEncoder(directory, mode=MODE_LOSSLESS, config=config, executor=property_executor) as enc:
+        enc.code_many(np.array(addresses, dtype=np.uint64))
+    decoded = AtcDecoder(directory, workers=2, executor=property_executor).read_all()
+    assert decoded.tolist() == addresses

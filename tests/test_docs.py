@@ -90,7 +90,7 @@ def _parse_info_per_spec(container: Path):
 class TestDocsStructure:
     def test_docs_directory_has_the_promised_pages(self):
         for page in ("index.md", "architecture.md", "paper-map.md", "atc-format.md",
-                     "experiments.md", "cli.md"):
+                     "experiments.md", "performance.md", "cli.md"):
             assert (_DOCS / page).is_file(), f"docs/{page} missing"
 
     def test_mkdocs_nav_targets_exist(self):

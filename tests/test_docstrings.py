@@ -30,6 +30,7 @@ _PUBLIC_MODULES = (
     "repro.baselines",
     "repro.analysis",
     "repro.experiments",
+    "repro.bench",
     "repro.cli",
     "repro.errors",
 )
