@@ -40,6 +40,7 @@ from repro.bench.suite import (
     BenchResult,
     BenchScale,
     resolved_executor_name,
+    run_profile,
     run_suite,
 )
 
@@ -49,6 +50,7 @@ __all__ = [
     "SUITE_BENCHES",
     "SUITE_BENCHES_NAMES",
     "run_suite",
+    "run_profile",
     "resolved_executor_name",
     "REPORT_SCHEMA",
     "build_report",

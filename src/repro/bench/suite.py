@@ -34,6 +34,7 @@ __all__ = [
     "SUITE_BENCHES",
     "SUITE_BENCHES_NAMES",
     "run_suite",
+    "run_profile",
     "resolved_executor_name",
 ]
 
@@ -110,6 +111,7 @@ class _SuiteContext:
     executor: Optional[str]
     workers: int
     root: Path
+    stream: Optional[object] = None
     trace: Optional[np.ndarray] = None
     containers: Dict[str, Path] = field(default_factory=dict)
 
@@ -129,13 +131,57 @@ class _SuiteContext:
             raise BenchmarkError("benchmark ordering bug: the 'filter' case must run first")
         return self.trace
 
+    def require_stream(self):
+        if self.stream is None:
+            raise BenchmarkError("benchmark ordering bug: the 'filter' case must run first")
+        return self.stream
+
 
 def _bench_filter(ctx: _SuiteContext) -> Tuple[int, Optional[int], Optional[float]]:
-    from repro.traces.filter import filtered_spec_like_trace
+    from repro.traces.filter import filter_reference_stream
+    from repro.traces.spec_like import generate_reference_stream
 
-    trace = filtered_spec_like_trace(ctx.scale.workload, ctx.scale.references, seed=ctx.scale.seed)
+    stream = generate_reference_stream(
+        ctx.scale.workload, ctx.scale.references, seed=ctx.scale.seed
+    )
+    ctx.stream = stream
+    trace = filter_reference_stream(stream).trace
     ctx.trace = trace.addresses
     return int(trace.addresses.size), None, None
+
+
+def _bench_filter_assoc(ctx: _SuiteContext) -> Tuple[int, Optional[int], Optional[float]]:
+    """Pure-filtering case: the paper's stream through an 8-way L1 pair.
+
+    Unlike ``filter`` (whose wall time includes generating the synthetic
+    stream), this measures only the cache simulation, which is what the
+    set-parallel kernel accelerates — the gate's guard on the kernel's
+    associative fast path.
+    """
+    from repro.cache.cache import CacheConfig
+    from repro.traces.filter import CacheFilter
+
+    config = CacheConfig.from_capacity(
+        64 * 1024, associativity=8, policy="lru", name="L1-8way"
+    )
+    result = CacheFilter(config, config).filter(ctx.require_stream())
+    return int(result.trace.addresses.size), None, None
+
+
+def _bench_stackdist_curve(ctx: _SuiteContext) -> Tuple[int, Optional[int], Optional[float]]:
+    """Miss-ratio-curve case: one stack-distance pass over the trace.
+
+    Simulates the cache-filtered trace through the single-pass Mattson
+    simulator (128 sets, associativities 1..32 — one Figure 3 column),
+    gating the kernel's stack-distance path.
+    """
+    from repro.cache.stackdist import simulate_miss_curve
+
+    trace = ctx.require_trace()
+    curve = simulate_miss_curve(trace, num_sets=128, max_associativity=32)
+    if curve.accesses != int(trace.size):
+        raise BenchmarkError("stack-distance pass lost references")
+    return int(trace.size), None, None
 
 
 def _bench_encode(ctx: _SuiteContext, mode: str, label: str):
@@ -177,6 +223,8 @@ def _bench_decode_lossy(ctx: _SuiteContext):
 #: The suite, in execution order (later cases consume earlier artefacts).
 SUITE_BENCHES: Tuple[Tuple[str, Callable[[_SuiteContext], Tuple[int, Optional[int], Optional[float]]]], ...] = (
     ("filter", _bench_filter),
+    ("filter_assoc", _bench_filter_assoc),
+    ("stackdist_curve", _bench_stackdist_curve),
     ("encode_lossless", _bench_encode_lossless),
     ("encode_lossy", _bench_encode_lossy),
     ("decode_lossless", _bench_decode_lossless),
@@ -227,7 +275,7 @@ def run_suite(
     Example:
         >>> results = run_suite(BenchScale(references=2000))
         >>> [result.name for result in results][:2]
-        ['filter', 'encode_lossless']
+        ['filter', 'filter_assoc']
         >>> all(result.seconds > 0 for result in results)
         True
     """
@@ -280,6 +328,72 @@ def run_suite(
                 )
             )
         return results
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+
+
+def run_profile(
+    scale: BenchScale = BenchScale(),
+    executor: Optional[str] = None,
+    workers: int = 1,
+    names=None,
+    work_dir=None,
+    top: int = 15,
+) -> Dict[str, str]:
+    """Profile every selected case and return one hot-path table per case.
+
+    Runs the suite once with each case under :mod:`cProfile` and formats
+    the ``top`` functions by cumulative time, so a perf PR can locate a
+    stage's hot paths straight from ``repro bench --profile`` instead of
+    ad-hoc scripts.  Profiled wall times are *not* comparable to
+    :func:`run_suite` numbers (profiling adds per-call overhead); use them
+    for *where*, not *how fast*.
+
+    Example:
+        >>> tables = run_profile(BenchScale(references=2000), names=["filter"])
+        >>> sorted(tables)
+        ['filter']
+        >>> "cumulative" in tables["filter"]
+        True
+    """
+    import cProfile
+    import io
+    import pstats
+    import tempfile
+
+    from repro.core.executors import resolve_workers
+
+    selected = set(SUITE_BENCHES_NAMES if names is None else names)
+    unknown = selected - set(SUITE_BENCHES_NAMES)
+    if unknown:
+        raise BenchmarkError(f"unknown benchmark case(s): {sorted(unknown)}")
+    if top < 1:
+        raise BenchmarkError(f"profile table length must be >= 1, got {top}")
+    cleanup = None
+    if work_dir is None:
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-bench-profile-")
+        work_dir = cleanup.name
+    try:
+        ctx = _SuiteContext(
+            scale=scale,
+            executor=executor,
+            workers=resolve_workers(workers),
+            root=Path(work_dir) / "profile",
+        )
+        tables: Dict[str, str] = {}
+        for name, case in SUITE_BENCHES:
+            if name not in selected:
+                continue
+            profiler = cProfile.Profile()
+            profiler.enable()
+            case(ctx)
+            profiler.disable()
+            sink = io.StringIO()
+            stats = pstats.Stats(profiler, stream=sink)
+            stats.sort_stats("cumulative").print_stats(top)
+            tables[name] = sink.getvalue()
+        return tables
     finally:
         if cleanup is not None:
             cleanup.cleanup()

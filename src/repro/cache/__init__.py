@@ -1,6 +1,6 @@
 """Cache substrate: set-associative caches and multi-config LRU simulation."""
 
-from repro.cache.cache import CacheConfig, CacheStats, SetAssociativeCache
+from repro.cache.cache import CacheConfig, CacheStats, SetAssociativeCache, access_batches
 from repro.cache.hierarchy import CacheHierarchy
 from repro.cache.optimal import OptimalCacheSimulator, optimal_miss_ratio
 from repro.cache.stackdist import LruStackSimulator, MissRatioCurve, simulate_miss_curve
@@ -10,6 +10,7 @@ __all__ = [
     "CacheConfig",
     "CacheStats",
     "SetAssociativeCache",
+    "access_batches",
     "CacheHierarchy",
     "LruStackSimulator",
     "MissRatioCurve",

@@ -36,9 +36,32 @@ def _as_block_array(blocks) -> np.ndarray:
 
     return as_address_array(blocks)
 
-__all__ = ["CacheConfig", "CacheStats", "SetAssociativeCache"]
+__all__ = ["CacheConfig", "CacheStats", "SetAssociativeCache", "access_batches"]
 
 _POLICIES = ("lru", "fifo", "random")
+
+#: Slice length (in blocks) of the exact serial fallback taken by
+#: :meth:`SetAssociativeCache.access_batch` for RANDOM replacement and
+#: dirty caches: big enough that per-slice overhead is negligible, small
+#: enough that a huge batch never materialises one giant Python list.
+SERIAL_FALLBACK_BLOCKS = 65536
+
+#: Batches shorter than this skip the array kernel: below a few hundred
+#: references the kernel's sort/pack setup costs more than the grouped
+#: per-reference replay it replaces.
+KERNEL_MIN_BATCH = 192
+
+#: Kernel batches are simulated in slices of this many blocks (state
+#: carries across slices, so results are bit-identical to one shot); the
+#: kernel's scratch matrices then stay a few megabytes no matter how large
+#: the caller's batch is.
+KERNEL_SLICE_BLOCKS = 65536
+
+#: Geometries up to this many sets seed the kernel by scanning every
+#: non-empty set (cheaper than sorting the batch's set indices); larger
+#: geometries pay one :func:`numpy.unique` to seed only the touched sets.
+#: Shared with the stack-distance simulator's seeding heuristic.
+KERNEL_SEED_SCAN_SETS = 4096
 
 
 def _is_power_of_two(value: int) -> bool:
@@ -172,7 +195,10 @@ class SetAssociativeCache:
         self._sets: List[dict] = [dict() for _ in range(config.num_sets)]
         # Dirty blocks per set (written blocks that will cause a write-back
         # when evicted); parallel to ``_sets`` and always a subset of it.
+        # The total count is maintained incrementally so the batch paths
+        # can test "any dirty block?" in O(1) instead of scanning all sets.
         self._dirty: List[set] = [set() for _ in range(config.num_sets)]
+        self._dirty_block_count = 0
         self._clock = 0
         self._rng = np.random.default_rng(seed)
 
@@ -205,8 +231,9 @@ class SetAssociativeCache:
             self.stats.hits += 1
             if config.policy == "lru":
                 cache_set[block] = self._clock
-            if is_write:
+            if is_write and block not in dirty_set:
                 dirty_set.add(block)
+                self._dirty_block_count += 1
             return True, None
         self.stats.misses += 1
         writeback = None
@@ -214,11 +241,13 @@ class SetAssociativeCache:
             victim = self._evict(cache_set)
             if victim in dirty_set:
                 dirty_set.discard(victim)
+                self._dirty_block_count -= 1
                 self.stats.writebacks += 1
                 writeback = victim
         cache_set[block] = self._clock
         if is_write:
             dirty_set.add(block)
+            self._dirty_block_count += 1
         return False, writeback
 
     def access_trace(self, blocks: Iterable[int]) -> CacheStats:
@@ -248,9 +277,13 @@ class SetAssociativeCache:
 
         * direct-mapped caches take a fully vectorised NumPy path (a hit is
           an access equal to the previous access of the same set);
-        * LRU and FIFO set-associative caches replay each set's subsequence
-          against an :class:`~collections.OrderedDict`, making eviction
-          O(1) instead of the generic path's O(ways) ``min`` scan;
+        * LRU and FIFO set-associative caches run on the set-parallel
+          stack kernel (:mod:`repro.core.kernels`), which advances every
+          set's recency stack with whole-array operations; very small
+          batches instead replay each set's subsequence against an
+          :class:`~collections.OrderedDict` (:meth:`_access_batch_grouped`,
+          the pre-kernel path, kept as the grouped reference
+          implementation);
         * RANDOM replacement (whose RNG draws depend on global access
           order) and caches holding dirty blocks (whose evictions must
           count write-backs) fall back to the exact serial loop.
@@ -259,19 +292,21 @@ class SetAssociativeCache:
         count = int(array.size)
         if count == 0:
             return np.zeros(0, dtype=bool)
-        if self.config.policy == "random" or any(self._dirty):
+        if self.config.policy == "random" or self._dirty_block_count:
             # Exact serial fallback; convert to Python ints in bounded
             # slices so a huge batch does not materialise one giant list.
             hits = np.empty(count, dtype=bool)
             access_block = self.access_block
-            for start in range(0, count, 65536):
-                chunk = array[start : start + 65536].tolist()
+            for start in range(0, count, SERIAL_FALLBACK_BLOCKS):
+                chunk = array[start : start + SERIAL_FALLBACK_BLOCKS].tolist()
                 for offset, block in enumerate(chunk):
                     hits[start + offset] = access_block(block)
             return hits
         if self.config.associativity == 1:
             return self._access_batch_direct(array)
-        return self._access_batch_grouped(array)
+        if count < KERNEL_MIN_BATCH:
+            return self._access_batch_grouped(array)
+        return self._access_batch_kernel(array)
 
     def _access_batch_direct(self, array: np.ndarray) -> np.ndarray:
         """Vectorised batch access for direct-mapped caches.
@@ -384,6 +419,80 @@ class SetAssociativeCache:
         self._clock += count
         return hits
 
+    def _access_batch_kernel(self, array: np.ndarray) -> np.ndarray:
+        """Batch access on the set-parallel array kernel (LRU/FIFO, clean).
+
+        Delegates the simulation to :func:`repro.core.kernels.simulate_batch`
+        and converts between the cache's per-set stamp dictionaries and the
+        kernel's recency-stack state.  Bit-identical to the serial loop:
+        hit mask, counters, resident blocks and stamps all match exactly.
+        """
+        from repro.core.kernels import simulate_batch
+
+        count = int(array.size)
+        hits = np.empty(count, dtype=bool)
+        for start in range(0, count, KERNEL_SLICE_BLOCKS):
+            piece = array[start : start + KERNEL_SLICE_BLOCKS]
+            size = int(piece.size)
+            set_index = (piece & np.uint64(self._set_mask)).astype(np.int32)
+            result = simulate_batch(
+                piece,
+                set_index,
+                self._set_mask,
+                self.config.associativity,
+                self.config.policy,
+                self._kernel_seed_stacks(set_index),
+            )
+            growth = self._kernel_apply_state(result.final_stacks.items(), self._clock)
+            piece_hits = result.hits
+            hit_count = int(np.count_nonzero(piece_hits))
+            self.stats.accesses += size
+            self.stats.hits += hit_count
+            self.stats.misses += size - hit_count
+            self.stats.evictions += (size - hit_count) - growth
+            self._clock += size
+            hits[start : start + size] = piece_hits
+        return hits
+
+    def _kernel_seed_stacks(self, set_index: np.ndarray) -> dict:
+        """Kernel-facing state: blocks of each touched set, MRU/newest first.
+
+        Stamps are unique clock values, so sorting by stamp descending
+        recovers the recency (LRU) or fill (FIFO) order the kernel's
+        stacks encode.  For small geometries every non-empty set is
+        offered (the kernel ignores rows absent from the batch); large
+        ones pay one :func:`numpy.unique` to seed only the touched sets.
+        """
+        if self.config.num_sets <= KERNEL_SEED_SCAN_SETS:
+            touched = range(self.config.num_sets)
+        else:
+            touched = np.unique(set_index).tolist()
+        initial = {}
+        for index in touched:
+            cache_set = self._sets[index]
+            if cache_set:
+                initial[index] = sorted(cache_set, key=cache_set.get, reverse=True)
+        return initial
+
+    def _kernel_apply_state(self, stack_items, clock_start: int) -> int:
+        """Write kernel result stacks back into the per-set stamp dicts.
+
+        ``stack_items`` yields ``(set_index, [(block, last_position), ...])``
+        with positions relative to this cache's batch (``-1`` = untouched,
+        keep the old stamp).  Returns the total occupancy growth, which
+        turns the batch's miss count into its eviction count.
+        """
+        growth = 0
+        for index, stack in stack_items:
+            cache_set = self._sets[index]
+            rebuilt = {}
+            for block, last in reversed(stack):
+                rebuilt[block] = clock_start + last + 1 if last >= 0 else cache_set[block]
+            growth += len(rebuilt) - len(cache_set)
+            cache_set.clear()
+            cache_set.update(rebuilt)
+        return growth
+
     # -- internals ------------------------------------------------------------------
     def _evict(self, cache_set: dict) -> int:
         if self.config.policy == "random":
@@ -420,9 +529,142 @@ class SetAssociativeCache:
             cache_set.clear()
         for dirty_set in self._dirty:
             dirty_set.clear()
+        self._dirty_block_count = 0
         self._clock = 0
 
     def reset(self) -> None:
         """Flush the cache and clear the statistics."""
         self.flush()
         self.stats = CacheStats()
+
+
+def access_batches(caches, block_batches) -> List[np.ndarray]:
+    """Batch-access several *independent* caches in one fused kernel call.
+
+    The set-parallel kernel amortises its per-time-step cost over every
+    simulated set, so independent caches — the filter's L1I and L1D pair,
+    per-core filter caches — simulate fastest when their sets share one
+    row space and march together.  Each cache's counters, stamps, resident
+    blocks and hit mask come out exactly as if ``cache.access_batch(blocks)``
+    had been called per cache (the fallback this function takes whenever a
+    cache is ineligible for the kernel: RANDOM replacement, dirty blocks,
+    direct-mapped or single-set geometry, or a tiny total batch).
+
+    Args:
+        caches: The :class:`SetAssociativeCache` instances to access.
+        block_batches: One block-address iterable per cache, in the same
+            order.
+
+    Returns:
+        One boolean hit mask per cache, aligned with its input order.
+
+    Example:
+        >>> config = CacheConfig(num_sets=4, associativity=2)
+        >>> pair = [SetAssociativeCache(config), SetAssociativeCache(config)]
+        >>> import numpy as np
+        >>> masks = access_batches(pair, [np.array([1, 1], dtype=np.uint64),
+        ...                               np.array([2], dtype=np.uint64)])
+        >>> [mask.tolist() for mask in masks]
+        [[False, True], [False]]
+    """
+    caches = list(caches)
+    arrays = [_as_block_array(batch) for batch in block_batches]
+    if len(caches) != len(arrays):
+        raise ConfigurationError(
+            f"got {len(caches)} caches but {len(arrays)} block batches"
+        )
+    total = sum(int(array.size) for array in arrays)
+    fusable = (
+        len(caches) >= 2
+        and total >= KERNEL_MIN_BATCH
+        and all(
+            cache.config.policy == "lru"
+            and cache.config.associativity >= 2
+            and cache.config.num_sets >= 2
+            and not cache._dirty_block_count
+            for cache in caches
+        )
+    )
+    if not fusable:
+        return [cache.access_batch(array) for cache, array in zip(caches, arrays)]
+    row_bases: List[int] = []
+    base = 0
+    for cache in caches:
+        row_bases.append(base)
+        base += cache.config.num_sets
+    associativities = {cache.config.associativity for cache in caches}
+    if len(associativities) == 1:
+        ways = caches[0].config.associativity
+    else:
+        ways = np.concatenate(
+            [
+                np.full(cache.config.num_sets, cache.config.associativity, dtype=np.int64)
+                for cache in caches
+            ]
+        )
+    set_mask = max(cache._set_mask for cache in caches)
+    # march in bounded joint slices: each cache's replacement state carries
+    # from one slice to the next, so the result is identical to one shot
+    # while the kernel's scratch matrices stay slice-sized
+    masks = [np.empty(int(array.size), dtype=bool) for array in arrays]
+    for start in range(0, max(int(array.size) for array in arrays), KERNEL_SLICE_BLOCKS):
+        pieces = [array[start : start + KERNEL_SLICE_BLOCKS] for array in arrays]
+        slice_hits = _fused_kernel_slice(caches, pieces, row_bases, ways, set_mask)
+        for mask, piece_hits in zip(masks, slice_hits):
+            mask[start : start + piece_hits.size] = piece_hits
+    return masks
+
+
+def _fused_kernel_slice(caches, pieces, row_bases, ways, set_mask) -> List[np.ndarray]:
+    """One fused kernel pass over aligned per-cache batch slices."""
+    from repro.core.kernels import simulate_batch
+
+    offsets: List[int] = []
+    offset = 0
+    for piece in pieces:
+        offsets.append(offset)
+        offset += int(piece.size)
+    set_indices = [
+        (piece & np.uint64(cache._set_mask)).astype(np.int32)
+        for cache, piece in zip(caches, pieces)
+    ]
+    rows = np.concatenate(
+        [
+            set_index + row_base
+            for set_index, row_base in zip(set_indices, row_bases)
+        ]
+    )
+    blocks = np.concatenate(pieces)
+    initial = {}
+    for cache, set_index, row_base in zip(caches, set_indices, row_bases):
+        for index, stack in cache._kernel_seed_stacks(set_index).items():
+            initial[index + row_base] = stack
+    result = simulate_batch(blocks, rows, set_mask, ways, "lru", initial)
+    # one pass over the touched rows, routed to their owning lane
+    from bisect import bisect_right
+
+    lane_items: List[List] = [[] for _ in caches]
+    for rid, stack in result.final_stacks.items():
+        lane = bisect_right(row_bases, rid) - 1
+        lane_items[lane].append(
+            (
+                rid - row_bases[lane],
+                [
+                    (block, last - offsets[lane] if last >= 0 else -1)
+                    for block, last in stack
+                ],
+            )
+        )
+    slice_hits: List[np.ndarray] = []
+    for lane, (cache, piece) in enumerate(zip(caches, pieces)):
+        count = int(piece.size)
+        lane_hits = result.hits[offsets[lane] : offsets[lane] + count]
+        growth = cache._kernel_apply_state(lane_items[lane], cache._clock)
+        hit_count = int(np.count_nonzero(lane_hits))
+        cache.stats.accesses += count
+        cache.stats.hits += hit_count
+        cache.stats.misses += count - hit_count
+        cache.stats.evictions += (count - hit_count) - growth
+        cache._clock += count
+        slice_hits.append(lane_hits)
+    return slice_hits

@@ -129,8 +129,9 @@ class CacheHierarchy:
         parallel axis of batch filtering is *across independent traces* —
         see :func:`miss_streams`.
         """
-        for chunk in chunks:
-            yield self.miss_stream(chunk)
+        from repro.core.stream import map_chunks
+
+        return map_chunks(chunks, self.miss_stream)
 
     def stats(self) -> List[CacheStats]:
         """Return the per-level statistics, from first level to last."""

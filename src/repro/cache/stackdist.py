@@ -12,6 +12,13 @@ associativities at once.
 :class:`LruStackSimulator` is exact for distances up to a configurable
 ``max_associativity`` (32 in the paper's sweep) and simply reports
 "deeper than the maximum" beyond that, which is all Figure 3 needs.
+:meth:`LruStackSimulator.access_trace` runs whole arrays through the
+set-parallel stack kernel (:mod:`repro.core.kernels`) — one pass records
+every reference's capped stack distance, so the entire
+miss-ratio-vs-associativity curve costs a single array sweep instead of
+one Python ``list.index`` per reference; :meth:`~LruStackSimulator.access_block`
+remains the per-reference serial oracle and both produce identical
+counters and stack state.
 """
 
 from __future__ import annotations
@@ -24,6 +31,10 @@ import numpy as np
 from repro.errors import ConfigurationError
 
 __all__ = ["MissRatioCurve", "LruStackSimulator", "simulate_miss_curve"]
+
+#: Traces shorter than this are simulated by the serial per-block loop;
+#: below a few hundred references the kernel's sort/pack setup dominates.
+KERNEL_MIN_TRACE = 192
 
 
 @dataclass(frozen=True)
@@ -115,9 +126,71 @@ class LruStackSimulator:
         return 0
 
     def access_trace(self, blocks: Iterable[int]) -> None:
-        """Feed every block address of ``blocks`` through the simulator."""
-        for block in blocks:
-            self.access_block(int(block))
+        """Feed every block address of ``blocks`` through the simulator.
+
+        Arrays and sequences run on the set-parallel stack kernel (exact
+        capped distances for the whole batch in one array sweep); lazy
+        iterables are consumed in bounded slices so peak memory stays
+        chunk-sized.  Counters and per-set stacks end up bit-identical to
+        calling :meth:`access_block` on every element in order.
+        """
+        if isinstance(blocks, np.ndarray) or hasattr(blocks, "__len__"):
+            self._access_array(blocks)
+            return
+        from itertools import islice
+
+        from repro.traces.trace import DEFAULT_CHUNK_ADDRESSES
+
+        iterator = iter(blocks)
+        while True:
+            piece = list(islice(iterator, DEFAULT_CHUNK_ADDRESSES))
+            if not piece:
+                return
+            self._access_array(piece)
+
+    def _access_array(self, blocks) -> None:
+        """Kernel-simulate one materialised batch (state carries across)."""
+        from repro.traces.trace import as_address_array
+
+        array = as_address_array(blocks)
+        count = int(array.size)
+        if count < KERNEL_MIN_TRACE:
+            for block in array.tolist():
+                self.access_block(block)
+            return
+        from repro.core.kernels import simulate_batch
+        from repro.traces.trace import DEFAULT_CHUNK_ADDRESSES
+
+        from repro.cache.cache import KERNEL_SEED_SCAN_SETS
+
+        for start in range(0, count, DEFAULT_CHUNK_ADDRESSES):
+            piece = array[start : start + DEFAULT_CHUNK_ADDRESSES]
+            set_index = (piece & np.uint64(self._set_mask)).astype(np.int32)
+            if self.num_sets <= KERNEL_SEED_SCAN_SETS:
+                touched = range(self.num_sets)
+            else:
+                touched = np.unique(set_index).tolist()
+            initial = {}
+            for index in touched:
+                stack = self._stacks[index]
+                if stack:
+                    initial[index] = stack
+            result = simulate_batch(
+                piece,
+                set_index,
+                self._set_mask,
+                self.max_associativity,
+                "lru",
+                initial,
+                want_depths=True,
+                track_stamps=False,
+            )
+            counts = np.bincount(result.depths, minlength=self.max_associativity + 1)
+            self._deep_misses += int(counts[0])
+            self._distance_hits[1:] += counts[1 : self.max_associativity + 1]
+            self._accesses += int(piece.size)
+            for index, stack in result.final_stacks.items():
+                self._stacks[index] = [block for block, _ in stack]
 
     def curve(self) -> MissRatioCurve:
         """Return the miss-ratio curve accumulated so far."""

@@ -122,8 +122,14 @@ def miss_ratio_sweep(
         1.0
     """
     from repro.core.parallel import executor_kind, map_ordered, resolve_workers
+    from repro.traces.trace import as_address_array
 
-    materialised = np.asarray(list(blocks) if not isinstance(blocks, np.ndarray) else blocks)
+    # Normalise to the kernel's native ``uint64`` layout up front: every
+    # per-set-count pass then hands the stack kernel (and, for the process
+    # executor, the shared-memory exporter) one contiguous address array.
+    materialised = as_address_array(
+        blocks if isinstance(blocks, np.ndarray) else list(blocks)
+    )
     set_counts = list(set_counts)
     workers = resolve_workers(workers)
     shared_blocks = materialised

@@ -449,6 +449,23 @@ def _build_bench_parser() -> argparse.ArgumentParser:
         default=1.25,
         help="wall-time tolerance band for --baseline (default: 1.25 = fail beyond +25%%)",
     )
+    def _positive_int(value: str) -> int:
+        parsed = int(value)
+        if parsed < 1:
+            raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+        return parsed
+
+    parser.add_argument(
+        "--profile",
+        type=_positive_int,
+        nargs="?",
+        const=15,
+        default=None,
+        metavar="N",
+        help="also profile every case under cProfile and print its top-N "
+        "cumulative-time table on stderr (default N: 15); profiled times "
+        "are for locating hot paths, not for comparison",
+    )
     return parser
 
 
@@ -481,6 +498,17 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
             save_report(report, None)
         else:
             print(render_report_text(report))
+        if args.profile is not None:
+            from repro.bench import run_profile
+
+            # stderr, like the gate verdicts: --json owns stdout
+            tables = run_profile(scale, executor=spec, workers=workers, top=args.profile)
+            for name, table in tables.items():
+                print(
+                    f"\n=== profile: {name} (top {args.profile} by cumulative time) ===",
+                    file=sys.stderr,
+                )
+                print(table.rstrip(), file=sys.stderr)
         if args.baseline is None:
             return 0
         comparison = compare_reports(

@@ -40,11 +40,13 @@ from repro.core.parallel import (
     resolve_executor,
     resolve_workers,
 )
+from repro.core.kernels import KernelBatchResult, simulate_batch
 from repro.core.stream import (
     DEFAULT_CHUNK_ADDRESSES,
     chunk_array,
     concat_chunks,
     count_addresses,
+    map_chunks,
     rechunk,
 )
 from repro.core.lossy import (
@@ -66,9 +68,12 @@ __all__ = [
     "decompress_stream",
     "DEFAULT_CHUNK_ADDRESSES",
     "chunk_array",
+    "map_chunks",
     "rechunk",
     "concat_chunks",
     "count_addresses",
+    "KernelBatchResult",
+    "simulate_batch",
     "AtcContainer",
     "LossyTraceReport",
     "analyze_lossy",

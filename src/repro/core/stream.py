@@ -40,6 +40,7 @@ __all__ = [
     "DEFAULT_CHUNK_ADDRESSES",
     "check_chunk_addresses",
     "chunk_array",
+    "map_chunks",
     "rechunk",
     "concat_chunks",
     "count_addresses",
@@ -68,6 +69,28 @@ def chunk_array(array, chunk_addresses: int = DEFAULT_CHUNK_ADDRESSES) -> Iterat
     array = _as_chunk(array)
     for start in range(0, int(array.size), chunk_addresses):
         yield array[start : start + chunk_addresses]
+
+
+def map_chunks(chunks: Iterable, transform: Callable) -> Iterator:
+    """Lazily apply a (possibly stateful) per-chunk transform to a stream.
+
+    The generic plumbing behind every chunked simulation stage: the cache
+    filter and the hierarchy replay are *stateful* transforms (simulator
+    state carries from one chunk to the next inside ``transform``), and
+    mapping them over a chunk stream one chunk at a time is exactly what
+    keeps their peak memory bounded by the chunk size.  Chunks are pulled
+    only as the consumer iterates, so upstream laziness is preserved —
+    this is :func:`map` under its pipeline-stage name, documented here so
+    chunked stages share one idiom instead of ad-hoc generators.
+
+    Example:
+        >>> import numpy as np
+        >>> doubled = map_chunks(chunk_array(np.arange(4, dtype=np.uint64), 2),
+        ...                      lambda chunk: chunk * np.uint64(2))
+        >>> [chunk.tolist() for chunk in doubled]
+        [[0, 2], [4, 6]]
+    """
+    return map(transform, chunks)
 
 
 def rechunk(

@@ -1,0 +1,323 @@
+"""Equivalence suite for the set-parallel cache-simulation kernels.
+
+The kernel layer (:mod:`repro.core.kernels`) must be *bit-identical* to the
+serial per-reference simulators it replaces: same hit masks, same
+:class:`~repro.cache.cache.CacheStats` counters, same resident blocks and
+replacement stamps, for any trace, chunking and policy.  This suite drives
+random traces through three implementations — the serial loop (the
+semantics oracle), the pre-kernel grouped OrderedDict replay, and the
+kernel — and asserts exact agreement, including the dirty/write-back and
+RANDOM-replacement traces that must take the serial fallback, and chunked
+streaming at chunk sizes 1/7/4096.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.cache.cache as cache_module
+import repro.cache.stackdist as stackdist_module
+import repro.core.kernels as kernels
+from repro.cache.cache import CacheConfig, SetAssociativeCache, access_batches
+from repro.cache.stackdist import LruStackSimulator
+from repro.errors import ConfigurationError
+from repro.traces.filter import (
+    CacheFilter,
+    filter_reference_stream,
+    filter_reference_streams_fused,
+)
+from repro.traces.spec_like import generate_reference_stream
+
+
+@pytest.fixture(autouse=True)
+def _always_kernel(monkeypatch):
+    """Remove the small-batch cutoffs so every batch exercises the kernel."""
+    monkeypatch.setattr(cache_module, "KERNEL_MIN_BATCH", 0)
+    monkeypatch.setattr(stackdist_module, "KERNEL_MIN_TRACE", 0)
+
+
+def _serial_reference(config: CacheConfig, blocks) -> SetAssociativeCache:
+    cache = SetAssociativeCache(config)
+    for block in blocks:
+        cache.access_block(int(block))
+    return cache
+
+
+def _serial_hits(cache: SetAssociativeCache, blocks) -> np.ndarray:
+    return np.array([cache.access_block(int(block)) for block in blocks], dtype=bool)
+
+
+def _assert_same_state(left: SetAssociativeCache, right: SetAssociativeCache) -> None:
+    assert left.stats == right.stats
+    assert left._sets == right._sets
+    assert left._dirty == right._dirty
+    assert left._clock == right._clock
+
+
+# Traces mix tight reuse, duplicate runs (instruction-stream shape) and
+# cold streaming so every kernel regime (collapse, march, replay) fires.
+_blocks = st.lists(st.integers(min_value=0, max_value=300), min_size=1, max_size=400)
+_repeats = st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=400)
+
+
+def _build_trace(values, repeats) -> np.ndarray:
+    reps = (repeats * (len(values) // len(repeats) + 1))[: len(values)]
+    return np.repeat(
+        np.array(values, dtype=np.uint64), np.array(reps, dtype=np.int64)
+    )
+
+
+class TestKernelEquivalence:
+    """Serial loop vs grouped replay vs kernel, across the policy grid."""
+
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "random"])
+    @pytest.mark.parametrize("ways", [1, 2, 4, 8])
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(values=_blocks, repeats=_repeats, sets_exp=st.integers(min_value=0, max_value=5))
+    def test_access_batch_matches_serial(self, policy, ways, sets_exp, values, repeats):
+        trace = _build_trace(values, repeats)
+        config = CacheConfig(num_sets=2**sets_exp, associativity=ways, policy=policy)
+        batched = SetAssociativeCache(config, seed=7)
+        serial = SetAssociativeCache(config, seed=7)
+        for chunk in np.array_split(trace, 3):
+            assert np.array_equal(batched.access_batch(chunk), _serial_hits(serial, chunk))
+        _assert_same_state(batched, serial)
+
+    @pytest.mark.parametrize("policy", ["lru", "fifo"])
+    @pytest.mark.parametrize("ways", [2, 4, 8])
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(values=_blocks, repeats=_repeats)
+    def test_kernel_matches_grouped_replay(self, policy, ways, values, repeats):
+        """The pre-kernel grouped path and the kernel agree exactly."""
+        trace = _build_trace(values, repeats)
+        config = CacheConfig(num_sets=16, associativity=ways, policy=policy)
+        kernel = SetAssociativeCache(config)
+        grouped = SetAssociativeCache(config)
+        kernel_hits = kernel._access_batch_kernel(trace)
+        grouped_hits = grouped._access_batch_grouped(trace)
+        assert np.array_equal(kernel_hits, grouped_hits)
+        _assert_same_state(kernel, grouped)
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 4096])
+    @pytest.mark.parametrize("policy", ["lru", "fifo"])
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(values=_blocks, repeats=_repeats)
+    def test_chunked_streaming_is_identical(self, chunk_size, policy, values, repeats):
+        """Any chunking of a batch leaves mask, stats and stamps unchanged."""
+        trace = _build_trace(values, repeats)
+        config = CacheConfig(num_sets=8, associativity=4, policy=policy)
+        chunked = SetAssociativeCache(config)
+        serial = SetAssociativeCache(config)
+        pieces = [
+            chunked.access_batch(trace[start : start + chunk_size])
+            for start in range(0, trace.size, chunk_size)
+        ]
+        assert np.array_equal(np.concatenate(pieces), _serial_hits(serial, trace))
+        _assert_same_state(chunked, serial)
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        values=_blocks,
+        repeats=_repeats,
+        writes=st.lists(st.integers(min_value=0, max_value=300), min_size=1, max_size=20),
+    )
+    def test_dirty_caches_fall_back_and_count_writebacks(self, values, repeats, writes):
+        """Dirty blocks force the serial fallback with exact write-backs."""
+        trace = _build_trace(values, repeats)
+        config = CacheConfig(num_sets=4, associativity=2, policy="lru")
+        batched = SetAssociativeCache(config)
+        serial = SetAssociativeCache(config)
+        for cache in (batched, serial):
+            for block in writes:
+                cache.access_block_rw(block, is_write=True)
+        assert batched._dirty_block_count == sum(len(d) for d in batched._dirty)
+        assert np.array_equal(batched.access_batch(trace), _serial_hits(serial, trace))
+        _assert_same_state(batched, serial)
+
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(values=_blocks, repeats=_repeats)
+    def test_mixed_serial_and_batch_phases(self, values, repeats):
+        """Kernel batches interleave freely with single-reference accesses."""
+        trace = _build_trace(values, repeats)
+        config = CacheConfig(num_sets=8, associativity=4, policy="lru")
+        mixed = SetAssociativeCache(config)
+        serial = SetAssociativeCache(config)
+        third = max(1, trace.size // 3)
+        mixed.access_batch(trace[:third])
+        _serial_hits(serial, trace[:third])
+        for block in trace[third : 2 * third].tolist():
+            assert mixed.access_block(block) == serial.access_block(block)
+        assert np.array_equal(
+            mixed.access_batch(trace[2 * third :]), _serial_hits(serial, trace[2 * third :])
+        )
+        _assert_same_state(mixed, serial)
+
+
+class TestFusedBatches:
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(values=_blocks, repeats=_repeats, split=st.integers(min_value=1, max_value=9))
+    def test_fused_lanes_match_independent_caches(self, values, repeats, split):
+        trace = _build_trace(values, repeats)
+        cut = (trace.size * split) // 10
+        batches = [trace[:cut], trace[cut:]]
+        configs = (
+            CacheConfig(num_sets=16, associativity=4),
+            CacheConfig(num_sets=8, associativity=2),
+        )
+        fused = [SetAssociativeCache(config) for config in configs]
+        solo = [SetAssociativeCache(config) for config in configs]
+        masks = access_batches(fused, batches)
+        for cache, reference, mask, batch in zip(fused, solo, masks, batches):
+            assert np.array_equal(mask, _serial_hits(reference, batch))
+            _assert_same_state(cache, reference)
+
+    def test_lane_count_mismatch_rejected(self):
+        config = CacheConfig(num_sets=4, associativity=2)
+        with pytest.raises(ConfigurationError, match="block batches"):
+            access_batches([SetAssociativeCache(config)], [])
+
+    def test_ineligible_caches_fall_back(self):
+        """A RANDOM-policy lane routes through plain per-cache batches."""
+        configs = (
+            CacheConfig(num_sets=4, associativity=2, policy="random"),
+            CacheConfig(num_sets=4, associativity=2, policy="lru"),
+        )
+        rng = np.random.default_rng(3)
+        batches = [rng.integers(0, 50, size=300, dtype=np.uint64) for _ in configs]
+        fused = [SetAssociativeCache(config, seed=1) for config in configs]
+        solo = [SetAssociativeCache(config, seed=1) for config in configs]
+        masks = access_batches(fused, batches)
+        for cache, reference, mask, batch in zip(fused, solo, masks, batches):
+            assert np.array_equal(mask, _serial_hits(reference, batch))
+            _assert_same_state(cache, reference)
+
+
+class TestStackDistanceKernel:
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        values=_blocks,
+        repeats=_repeats,
+        depth=st.integers(min_value=1, max_value=9),
+        sets_exp=st.integers(min_value=0, max_value=4),
+    )
+    def test_access_trace_matches_serial_loop(self, values, repeats, depth, sets_exp):
+        trace = _build_trace(values, repeats)
+        kernel = LruStackSimulator(2**sets_exp, max_associativity=depth)
+        serial = LruStackSimulator(2**sets_exp, max_associativity=depth)
+        kernel.access_trace(trace)
+        for block in trace.tolist():
+            serial.access_block(block)
+        assert kernel.curve() == serial.curve()
+        assert kernel._stacks == serial._stacks
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 4096])
+    def test_chunked_trace_is_identical(self, chunk_size):
+        rng = np.random.default_rng(11)
+        trace = rng.integers(0, 500, size=3000, dtype=np.uint64)
+        chunked = LruStackSimulator(16, max_associativity=4)
+        oneshot = LruStackSimulator(16, max_associativity=4)
+        for start in range(0, trace.size, chunk_size):
+            chunked.access_trace(trace[start : start + chunk_size])
+        oneshot.access_trace(trace)
+        assert chunked.curve() == oneshot.curve()
+        assert chunked._stacks == oneshot._stacks
+
+    def test_generator_input_still_streams(self):
+        lazy = LruStackSimulator(8, max_associativity=4)
+        eager = LruStackSimulator(8, max_associativity=4)
+        lazy.access_trace(int(value) % 64 for value in range(5000))
+        eager.access_trace(np.arange(5000, dtype=np.uint64) % np.uint64(64))
+        assert lazy.curve() == eager.curve()
+
+
+class TestKernelRouting:
+    """The march/replay/fast-path routing is a perf decision, never a
+    semantic one — force each route and check exactness."""
+
+    def test_skewed_single_set_takes_replay(self, monkeypatch):
+        monkeypatch.setattr(kernels, "REPLAY_MIN_ROW_REFS", 4)
+        rng = np.random.default_rng(5)
+        # one scorching set plus background traffic
+        hot = rng.integers(0, 40, size=800, dtype=np.uint64) * np.uint64(16)
+        cold = rng.integers(0, 200, size=50, dtype=np.uint64)
+        trace = np.concatenate([hot, cold])
+        rng.shuffle(trace)
+        config = CacheConfig(num_sets=16, associativity=4, policy="lru")
+        batched = SetAssociativeCache(config)
+        serial = SetAssociativeCache(config)
+        assert np.array_equal(batched.access_batch(trace), _serial_hits(serial, trace))
+        _assert_same_state(batched, serial)
+
+    @pytest.mark.parametrize("policy", ["lru", "fifo"])
+    def test_small_working_set_shortcut(self, policy, monkeypatch):
+        monkeypatch.setattr(kernels, "REPLAY_MIN_ROW_REFS", 4)
+        # a tight loop over 3 blocks of one set: distinct <= ways, so the
+        # replay's numpy shortcut (no per-reference work) must fire
+        trace = np.tile(np.array([0, 16, 32], dtype=np.uint64), 200)
+        config = CacheConfig(num_sets=16, associativity=4, policy=policy)
+        batched = SetAssociativeCache(config)
+        serial = SetAssociativeCache(config)
+        assert np.array_equal(batched.access_batch(trace), _serial_hits(serial, trace))
+        _assert_same_state(batched, serial)
+
+    def test_single_set_geometry_has_no_sentinel(self):
+        """num_sets == 1 (mask 0) must replay: no padding value exists."""
+        rng = np.random.default_rng(9)
+        trace = rng.integers(0, 30, size=500, dtype=np.uint64)
+        config = CacheConfig(num_sets=1, associativity=4, policy="lru")
+        batched = SetAssociativeCache(config)
+        serial = SetAssociativeCache(config)
+        assert np.array_equal(batched.access_batch(trace), _serial_hits(serial, trace))
+        _assert_same_state(batched, serial)
+
+    def test_kernel_rejects_bad_arguments(self):
+        blocks = np.arange(10, dtype=np.uint64)
+        rows = np.zeros(10, dtype=np.int64)
+        with pytest.raises(ConfigurationError, match="policies"):
+            kernels.simulate_batch(blocks, rows, 0, 2, policy="random")
+        with pytest.raises(ConfigurationError, match="Mattson"):
+            kernels.simulate_batch(blocks, rows, 0, np.array([2]), policy="fifo")
+        with pytest.raises(ConfigurationError, match="only defined for LRU"):
+            kernels.simulate_batch(blocks, rows, 0, 2, policy="fifo", want_depths=True)
+        with pytest.raises(ConfigurationError, match="equal length"):
+            kernels.simulate_batch(blocks, rows[:-1], 0, 2)
+
+    def test_empty_batch(self):
+        result = kernels.simulate_batch(
+            np.empty(0, dtype=np.uint64), np.empty(0, dtype=np.int64), 7, 4
+        )
+        assert result.hits.size == 0
+        assert result.final_stacks == {}
+
+
+class TestFilterKernelPaths:
+    def test_fused_filter_matches_sequential(self):
+        streams = [
+            generate_reference_stream(name, 2_000, seed=0)
+            for name in ("429.mcf", "462.libquantum")
+        ]
+        fused = filter_reference_streams_fused(streams)
+        for stream, result in zip(streams, fused):
+            expected = filter_reference_stream(stream)
+            assert np.array_equal(result.trace.addresses, expected.trace.addresses)
+            assert result.instruction_stats == expected.instruction_stats
+            assert result.data_stats == expected.data_stats
+
+    def test_filter_matches_per_reference_caches(self):
+        stream = generate_reference_stream("403.gcc", 3_000, seed=1)
+        fast = CacheFilter()
+        blocks = (stream.addresses >> np.uint64(6)).astype(np.uint64)
+        instruction = SetAssociativeCache(fast.instruction_cache.config)
+        data = SetAssociativeCache(fast.data_cache.config)
+        misses = []
+        for block, is_instr in zip(blocks.tolist(), stream.is_instruction.tolist()):
+            cache = instruction if is_instr else data
+            if not cache.access_block(block):
+                misses.append(block)
+        result = fast.filter(stream)
+        assert result.trace.addresses.tolist() == misses
+        assert result.instruction_stats == instruction.stats
+        assert result.data_stats == data.stats

@@ -92,6 +92,17 @@ class TestRunSuite:
         with pytest.raises(BenchmarkError, match="unknown benchmark"):
             run_suite(SCALE, names=["warp_drive"])
 
+    def test_new_cases_require_the_filter_stage(self):
+        with pytest.raises(BenchmarkError, match="'filter' case must run first"):
+            run_suite(SCALE, names=["filter_assoc"])
+        with pytest.raises(BenchmarkError, match="'filter' case must run first"):
+            run_suite(SCALE, names=["stackdist_curve"])
+
+    def test_simulation_cases_are_present(self, suite_report):
+        names = [entry["name"] for entry in suite_report["benchmarks"]]
+        assert "filter_assoc" in names
+        assert "stackdist_curve" in names
+
     def test_resolved_executor_name(self):
         assert resolved_executor_name(None, workers=1) == "serial"
         assert resolved_executor_name(None, workers=4) == "thread"
@@ -221,7 +232,35 @@ class TestComparator:
             compare_reports(report, copy.deepcopy(report), max_slowdown=0.5)
 
 
+class TestRunProfile:
+    def test_profiles_selected_cases(self):
+        from repro.bench import run_profile
+
+        tables = run_profile(SCALE, names=["filter", "filter_assoc"], top=5)
+        assert set(tables) == {"filter", "filter_assoc"}
+        assert all("cumulative" in table for table in tables.values())
+        # the hot path of the associative case is the cache simulation
+        assert "access_batches" in tables["filter_assoc"]
+
+    def test_rejects_unknown_case_and_bad_top(self):
+        from repro.bench import run_profile
+
+        with pytest.raises(BenchmarkError, match="unknown benchmark"):
+            run_profile(SCALE, names=["warp_drive"])
+        with pytest.raises(BenchmarkError, match="table length"):
+            run_profile(SCALE, names=["filter"], top=0)
+
+
 class TestBenchCli:
+    def test_profile_flag_prints_tables_on_stderr(self, capsys):
+        code = bench_main(["--refs", "2000", "--json", "--profile", "5"])
+        assert code == 0
+        captured = capsys.readouterr()
+        # stdout stays a clean JSON report; the profile tables ride stderr
+        assert json.loads(captured.out)["schema"] == REPORT_SCHEMA
+        assert "profile: filter (top 5" in captured.err
+        assert "cumulative" in captured.err
+
     def test_emits_schema_valid_json(self, tmp_path, capsys):
         out = tmp_path / "BENCH_TEST.json"
         code = bench_main(["--refs", "2000", "--json", "--output", str(out)])
