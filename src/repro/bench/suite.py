@@ -220,6 +220,45 @@ def _bench_decode_lossy(ctx: _SuiteContext):
     return _bench_decode(ctx, "lossy")
 
 
+def _bench_export_k6(ctx: _SuiteContext):
+    """Adapter case: export the lossless container as a k6 text trace.
+
+    Gates the ``atc -> k6`` path of :mod:`repro.traces.formats` — decoder
+    re-chunking, sidecar synthesis (the container has none) and the text
+    writer — end to end, file to file.
+    """
+    from repro.traces.formats.convert import export_from_atc
+
+    directory = ctx.containers.get("lossless")
+    if directory is None:
+        raise BenchmarkError("benchmark ordering bug: encode_lossless must run before export_k6")
+    destination = ctx.root / "k6_export.trc.gz"
+    summary = export_from_atc(directory, destination, format="k6")
+    ctx.containers["k6_export"] = destination
+    return int(summary["records"]), None, None
+
+
+def _bench_convert_k6(ctx: _SuiteContext):
+    """Adapter case: convert the exported k6 trace back into an ATC container.
+
+    Gates the ``k6 -> atc`` path — gz-transparent text parsing, the
+    command/cycle sidecar writer and the streaming encoder — the
+    convert-throughput number the CI trajectory tracks.  Payload bytes
+    include the sidecar, so sidecar-format drift shows up as a
+    bits-per-address change.
+    """
+    from repro.core.atc import AtcDecoder
+    from repro.traces.formats.convert import convert_to_atc
+
+    source = ctx.containers.get("k6_export")
+    if source is None:
+        raise BenchmarkError("benchmark ordering bug: export_k6 must run before convert_k6")
+    directory = ctx.root / "k6_roundtrip"
+    summary = convert_to_atc(source, directory, format="k6", config=ctx.config())
+    decoder = AtcDecoder(directory)
+    return int(summary["addresses"]), int(decoder.compressed_bytes()), float(decoder.bits_per_address())
+
+
 #: The suite, in execution order (later cases consume earlier artefacts).
 SUITE_BENCHES: Tuple[Tuple[str, Callable[[_SuiteContext], Tuple[int, Optional[int], Optional[float]]]], ...] = (
     ("filter", _bench_filter),
@@ -229,6 +268,8 @@ SUITE_BENCHES: Tuple[Tuple[str, Callable[[_SuiteContext], Tuple[int, Optional[in
     ("encode_lossy", _bench_encode_lossy),
     ("decode_lossless", _bench_decode_lossless),
     ("decode_lossy", _bench_decode_lossy),
+    ("export_k6", _bench_export_k6),
+    ("convert_k6", _bench_convert_k6),
 )
 
 #: Stable case names, in execution order.

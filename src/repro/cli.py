@@ -39,7 +39,16 @@ from repro.core.lossy import LossyConfig
 from repro.errors import ReproError, TraceFormatError
 from repro.traces.trace import DEFAULT_CHUNK_ADDRESSES, iter_raw_chunks
 
-__all__ = ["bin2atc_main", "atc2bin_main", "inspect_main", "sweep_main", "bench_main", "main"]
+__all__ = [
+    "bin2atc_main",
+    "atc2bin_main",
+    "inspect_main",
+    "convert_main",
+    "zoo_main",
+    "sweep_main",
+    "bench_main",
+    "main",
+]
 
 _READ_CHUNK_ADDRESSES = DEFAULT_CHUNK_ADDRESSES
 
@@ -269,6 +278,259 @@ def inspect_main(argv: Optional[List[str]] = None) -> int:
     print(f"intervals        : {len(records)} ({imitations} imitated)")
     print(f"on-disk bytes    : {decoder.compressed_bytes()}")
     print(f"bits per address : {decoder.bits_per_address():.3f}")
+    return 0
+
+
+def _build_convert_parser() -> argparse.ArgumentParser:
+    from repro.traces.formats import format_names
+
+    names = sorted(format_names())
+    parser = argparse.ArgumentParser(
+        prog="repro convert",
+        description=(
+            "Convert trace files between real simulator formats (DRAMSim2 k6/mase text, "
+            "fixed-record binary dumps, raw 64-bit traces; .gz transparent) and ATC "
+            "containers, streaming file-to-file at flat memory.  An existing container "
+            "directory as SOURCE exports back out; any other SOURCE converts into a new "
+            "container at DESTINATION.  See docs/trace-formats.md for the format specs."
+        ),
+    )
+    parser.add_argument("source", help="input trace file, or an ATC container directory to export")
+    parser.add_argument("destination", help="output container directory, or the trace file to write")
+    parser.add_argument(
+        "--from",
+        dest="from_format",
+        default=None,
+        choices=names,
+        help="input trace format (default: detect from the filename)",
+    )
+    parser.add_argument(
+        "--to",
+        dest="to_format",
+        default=None,
+        choices=names,
+        help="output trace format when exporting (default: detect from the filename)",
+    )
+    parser.add_argument(
+        "--lossy",
+        action="store_true",
+        help="encode the container in lossy mode 'k' (addresses approximated per the "
+        "paper's codec; the command/cycle sidecar stays exact); default: lossless 'c'",
+    )
+    parser.add_argument(
+        "--no-sidecar",
+        action="store_true",
+        help="do not store the command/cycle sidecar; exports then synthesize "
+        "read commands and --cycle-gap spaced cycles",
+    )
+    parser.add_argument(
+        "--interval-length",
+        type=int,
+        default=10_000_000,
+        help="lossy interval length L in addresses (default: 10M, the paper's value)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.1,
+        help="lossy interval-distance threshold epsilon (default: 0.1)",
+    )
+    parser.add_argument(
+        "--buffer-addresses",
+        type=int,
+        default=1_000_000,
+        help="bytesort buffer size in addresses (default: 1M)",
+    )
+    parser.add_argument(
+        "--backend",
+        default="bz2",
+        help="byte-level compression backend: bz2, zlib, lzma, store (default: bz2)",
+    )
+    parser.add_argument(
+        "--chunk-records",
+        type=int,
+        default=DEFAULT_CHUNK_ADDRESSES,
+        help="streaming chunk size in records (bounds peak memory; default: 65536)",
+    )
+    parser.add_argument(
+        "--cycle-gap",
+        type=int,
+        default=1,
+        help="cycle spacing synthesized when exporting a container without a sidecar "
+        "(default: 1)",
+    )
+    parser.add_argument(
+        "--record-bytes",
+        type=int,
+        default=8,
+        help="bin format: total bytes per record (default: 8)",
+    )
+    parser.add_argument(
+        "--address-offset",
+        type=int,
+        default=0,
+        help="bin format: byte offset of the address field (default: 0)",
+    )
+    parser.add_argument(
+        "--address-bytes",
+        type=int,
+        default=8,
+        help="bin format: width of the address field in bytes, 1..8 (default: 8)",
+    )
+    parser.add_argument(
+        "--big-endian",
+        action="store_true",
+        help="bin format: address field is big-endian (default: little-endian)",
+    )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="compress/decompress up to N chunks concurrently (0 = one per CPU; default: 1)",
+    )
+    _add_executor_argument(parser)
+    return parser
+
+
+@_exit_quietly_on_broken_pipe
+def convert_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro convert`` subcommand (file <-> ATC)."""
+    args = _build_convert_parser().parse_args(argv)
+    from repro.traces.formats import (
+        BinaryLayout,
+        convert_to_atc,
+        export_from_atc,
+        get_format,
+        is_atc_container,
+    )
+
+    try:
+        layout = BinaryLayout(
+            record_bytes=args.record_bytes,
+            address_offset=args.address_offset,
+            address_bytes=args.address_bytes,
+            byteorder="big" if args.big_endian else "little",
+        )
+    except ReproError as error:
+        print(f"repro convert: error: {error}", file=sys.stderr)
+        return 1
+
+    def options(format_name: Optional[str]) -> dict:
+        # The layout knobs only apply to fixed-record formats ('raw' is the
+        # fixed 8-byte little-endian special case and takes no overrides).
+        return {"layout": layout} if format_name == "bin" else {}
+
+    try:
+        if is_atc_container(args.source):
+            fmt = get_format(args.to_format) if args.to_format else None
+            summary = export_from_atc(
+                args.source,
+                args.destination,
+                format=fmt.name if fmt else None,
+                chunk_addresses=args.chunk_records,
+                cycle_gap=args.cycle_gap,
+                workers=args.jobs,
+                executor=_executor_spec(args),
+                **options(fmt.name if fmt else args.to_format or _detected(args.destination)),
+            )
+            print(
+                f"exported {summary['records']} records to {args.destination} "
+                f"({summary['format']})",
+                file=sys.stderr,
+            )
+            return 0
+        config = LossyConfig(
+            interval_length=args.interval_length,
+            threshold=args.threshold,
+            chunk_buffer_addresses=args.buffer_addresses,
+            backend=args.backend,
+            workers=args.jobs,
+            executor=_executor_spec(args),
+        )
+        mode = MODE_LOSSY if args.lossy else MODE_LOSSLESS
+        from_format = args.from_format or _detected(args.source)
+        summary = convert_to_atc(
+            args.source,
+            args.destination,
+            format=args.from_format,
+            mode=mode,
+            config=config,
+            chunk_records=args.chunk_records,
+            write_sidecar=not args.no_sidecar,
+            **options(from_format),
+        )
+        print(
+            f"coded {summary['addresses']} addresses from {args.source} "
+            f"({summary['format']}) into {args.destination}",
+            file=sys.stderr,
+        )
+        return 0
+    except (ReproError, OSError) as error:
+        print(f"repro convert: error: {error}", file=sys.stderr)
+        return 1
+
+
+def _detected(path: str) -> Optional[str]:
+    from repro.traces.formats import detect_format
+
+    return detect_format(path)
+
+
+def _build_zoo_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro zoo",
+        description=(
+            "List the registered workload zoo (repro.traces.zoo): mix1-mix7 multi-core "
+            "SPEC-2017-like mixes, GAP-like graph traversals and STREAM-like kernels.  "
+            "Every name works as a sweep/bench workload; see docs/workloads.md."
+        ),
+    )
+    parser.add_argument(
+        "--family",
+        default=None,
+        choices=("mix", "gap", "stream"),
+        help="only list one pattern family",
+    )
+    parser.add_argument(
+        "--format",
+        "-f",
+        default="text",
+        choices=("text", "json"),
+        help="output format (default: text)",
+    )
+    return parser
+
+
+@_exit_quietly_on_broken_pipe
+def zoo_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro zoo`` subcommand (workload catalog)."""
+    args = _build_zoo_parser().parse_args(argv)
+    from repro.traces.zoo import zoo_suite
+
+    entries = [e for e in zoo_suite() if args.family in (None, e.family)]
+    if args.format == "json":
+        import json
+
+        print(
+            json.dumps(
+                [
+                    {
+                        "name": entry.name,
+                        "family": entry.family,
+                        "cores": entry.cores,
+                        "components": list(entry.components),
+                        "description": entry.description,
+                    }
+                    for entry in entries
+                ],
+                indent=2,
+            )
+        )
+        return 0
+    width = max(len(entry.name) for entry in entries)
+    for entry in entries:
+        print(f"{entry.name:<{width}}  {entry.family:<6}  {entry.cores} core(s)  {entry.description}")
     return 0
 
 
@@ -521,25 +783,29 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
         return 1
 
 
-#: ``repro`` subcommands and the per-tool mains they delegate to.
+#: ``repro`` subcommands: name -> (entry point, one-line help).  The usage
+#: text below is generated from this registry, so adding a subcommand here
+#: is all it takes for it to appear in ``repro --help``.
 _SUBCOMMANDS = {
-    "compress": bin2atc_main,
-    "decompress": atc2bin_main,
-    "inspect": inspect_main,
-    "sweep": sweep_main,
-    "bench": bench_main,
+    "compress": (bin2atc_main, "raw 64-bit value stream -> ATC container (bin2atc)"),
+    "decompress": (atc2bin_main, "ATC container -> raw 64-bit value stream (atc2bin)"),
+    "inspect": (inspect_main, "print container metadata and sizes (atc-inspect)"),
+    "convert": (convert_main, "convert k6/mase/binary trace files to and from ATC containers"),
+    "zoo": (zoo_main, "list the registered workload zoo (mixes, GAP-like, STREAM-like)"),
+    "sweep": (sweep_main, "run declarative experiment sweeps (run, status, report)"),
+    "bench": (bench_main, "run the benchmark suite; emit/compare BENCH JSON reports"),
 }
 
 
 def _print_repro_usage(stream) -> None:
-    print("usage: repro {compress|decompress|inspect|sweep|bench} [options]", file=stream)
+    """Render the umbrella usage from the subcommand registry."""
+    names = "|".join(_SUBCOMMANDS)
+    width = max(len(name) for name in _SUBCOMMANDS)
+    print(f"usage: repro {{{names}}} [options]", file=stream)
     print("", file=stream)
     print("subcommands:", file=stream)
-    print("  compress    raw 64-bit value stream -> ATC container (bin2atc)", file=stream)
-    print("  decompress  ATC container -> raw 64-bit value stream (atc2bin)", file=stream)
-    print("  inspect     print container metadata and sizes (atc-inspect)", file=stream)
-    print("  sweep       run declarative experiment sweeps (run, status, report)", file=stream)
-    print("  bench       run the benchmark suite; emit/compare BENCH JSON reports", file=stream)
+    for name, (_, help_line) in _SUBCOMMANDS.items():
+        print(f"  {name:<{width}}  {help_line}", file=stream)
     print("", file=stream)
     print("run 'repro <subcommand> --help' for the subcommand's options", file=stream)
 
@@ -559,11 +825,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         _print_repro_usage(sys.stdout if argv else sys.stderr)
         return 0 if argv else 2
     command, rest = argv[0], argv[1:]
-    handler = _SUBCOMMANDS.get(command)
-    if handler is None:
+    entry = _SUBCOMMANDS.get(command)
+    if entry is None:
         print(f"repro: error: unknown subcommand {command!r}", file=sys.stderr)
         _print_repro_usage(sys.stderr)
         return 2
+    handler, _ = entry
     return handler(rest)
 
 

@@ -1,0 +1,93 @@
+"""Trace-format adapters: k6/mase text, binary dumps, ATC converters.
+
+Importing this package populates the format registry (the adapter modules
+register themselves), so ``get_format``/``detect_format`` see every
+built-in format.  See ``docs/trace-formats.md`` for the on-disk
+specifications and ``repro convert --help`` for the CLI front-end.
+"""
+
+from repro.traces.formats.base import (
+    KIND_IFETCH,
+    KIND_NAMES,
+    KIND_READ,
+    KIND_WRITE,
+    TraceFormat,
+    TraceRecords,
+    concat_records,
+    detect_format,
+    format_names,
+    get_format,
+    records_equal,
+    register_format,
+)
+from repro.traces.formats.binary import (
+    BIN_FORMAT,
+    RAW_FORMAT,
+    BinaryLayout,
+    iter_binary_records,
+    write_binary_records,
+)
+from repro.traces.formats.convert import (
+    convert_to_atc,
+    export_from_atc,
+    is_atc_container,
+    resolve_format,
+)
+from repro.traces.formats.sidecar import (
+    SIDECAR_BASENAME,
+    SIDECAR_MAGIC,
+    SidecarReader,
+    SidecarWriter,
+    SyntheticSidecar,
+    has_sidecar,
+    sidecar_path,
+)
+from repro.traces.formats.text import (
+    K6_COMMANDS,
+    K6_FORMAT,
+    MASE_COMMANDS,
+    MASE_FORMAT,
+    iter_k6_records,
+    iter_mase_records,
+    write_k6_records,
+    write_mase_records,
+)
+
+__all__ = [
+    "KIND_READ",
+    "KIND_WRITE",
+    "KIND_IFETCH",
+    "KIND_NAMES",
+    "TraceRecords",
+    "TraceFormat",
+    "records_equal",
+    "concat_records",
+    "register_format",
+    "get_format",
+    "format_names",
+    "detect_format",
+    "K6_COMMANDS",
+    "MASE_COMMANDS",
+    "K6_FORMAT",
+    "MASE_FORMAT",
+    "iter_k6_records",
+    "iter_mase_records",
+    "write_k6_records",
+    "write_mase_records",
+    "BinaryLayout",
+    "BIN_FORMAT",
+    "RAW_FORMAT",
+    "iter_binary_records",
+    "write_binary_records",
+    "SIDECAR_MAGIC",
+    "SIDECAR_BASENAME",
+    "SidecarWriter",
+    "SidecarReader",
+    "SyntheticSidecar",
+    "sidecar_path",
+    "has_sidecar",
+    "convert_to_atc",
+    "export_from_atc",
+    "is_atc_container",
+    "resolve_format",
+]

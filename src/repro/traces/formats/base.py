@@ -1,0 +1,281 @@
+"""Common substrate of the trace-format adapters: records and the registry.
+
+A *trace-format adapter* turns an on-disk trace file into a stream of
+:class:`TraceRecords` chunks (and back).  Where the raw pipeline of
+:mod:`repro.traces.trace` carries bare 64-bit addresses, real simulator
+trace formats (DRAMSim2 ``k6``/``mase`` text, Pin/gem5-style binary dumps)
+attach a *command* (read / write / instruction fetch) and a *cycle* stamp to
+every reference, so the adapter currency is a triple of parallel arrays.
+
+Adapters follow the same streaming contract as ``iter_raw_chunks``: the
+file is read a bounded block at a time, short reads mid-stream are
+reassembled (pipes may split a record or a line anywhere), and each yielded
+chunk is independent — so a whole file-to-file conversion runs at flat
+memory regardless of trace length.
+
+The registry maps format names (``"k6"``, ``"mase"``, ``"bin"``,
+``"raw"``) to their adapters and implements the filename-based detection
+used by ``repro convert``; the byte/line-level format specifications live
+in ``docs/trace-formats.md``.
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TraceFormatError
+from repro.traces.trace import as_address_array
+
+__all__ = [
+    "KIND_READ",
+    "KIND_WRITE",
+    "KIND_IFETCH",
+    "KIND_NAMES",
+    "TraceRecords",
+    "records_equal",
+    "concat_records",
+    "TraceFormat",
+    "register_format",
+    "get_format",
+    "format_names",
+    "detect_format",
+    "open_trace_source",
+    "open_trace_sink",
+]
+
+#: Record-kind codes shared by every adapter (and the ATC sidecar).
+KIND_READ = 0
+KIND_WRITE = 1
+KIND_IFETCH = 2
+
+#: Kind names indexed by code, for error messages and reports.
+KIND_NAMES: Tuple[str, ...] = ("read", "write", "ifetch")
+
+_U64 = np.dtype("<u8")
+_U8 = np.uint8
+
+
+@dataclass(frozen=True)
+class TraceRecords:
+    """One chunk of decoded trace records: parallel address/kind/cycle arrays.
+
+    Attributes:
+        addresses: Byte (or block) addresses as ``uint64``, in trace order.
+        kinds: Per-record command code (``KIND_READ``/``KIND_WRITE``/
+            ``KIND_IFETCH``) as ``uint8``.
+        cycles: Per-record cycle stamp as ``uint64``.  Formats without a
+            native cycle column synthesize a monotonically increasing stamp
+            (the record ordinal), which is documented per adapter.
+
+    Example:
+        >>> chunk = TraceRecords.from_addresses([0x40, 0x80])
+        >>> len(chunk), int(chunk.kinds[0]), int(chunk.cycles[1])
+        (2, 0, 1)
+    """
+
+    addresses: np.ndarray
+    kinds: np.ndarray
+    cycles: np.ndarray
+
+    def __post_init__(self) -> None:
+        addresses = as_address_array(self.addresses)
+        kinds = np.ascontiguousarray(self.kinds, dtype=_U8)
+        cycles = as_address_array(self.cycles)
+        if kinds.shape != addresses.shape or cycles.shape != addresses.shape:
+            raise TraceFormatError("addresses, kinds and cycles must have equal length")
+        if kinds.size and int(kinds.max()) > KIND_IFETCH:
+            raise TraceFormatError(
+                f"record kinds must be 0..{KIND_IFETCH} ({'/'.join(KIND_NAMES)})"
+            )
+        object.__setattr__(self, "addresses", addresses)
+        object.__setattr__(self, "kinds", kinds)
+        object.__setattr__(self, "cycles", cycles)
+
+    def __len__(self) -> int:
+        return int(self.addresses.size)
+
+    @classmethod
+    def from_addresses(
+        cls,
+        addresses,
+        kind: int = KIND_READ,
+        start_cycle: int = 0,
+        cycle_gap: int = 1,
+    ) -> "TraceRecords":
+        """Wrap bare addresses with a constant kind and gap-spaced cycles."""
+        array = as_address_array(addresses)
+        kinds = np.full(array.shape, kind, dtype=_U8)
+        cycles = (
+            np.uint64(start_cycle)
+            + np.arange(array.size, dtype=np.uint64) * np.uint64(cycle_gap)
+        ).astype(_U64)
+        return cls(array, kinds, cycles)
+
+
+def records_equal(left: TraceRecords, right: TraceRecords) -> bool:
+    """True when two record chunks are semantically identical.
+
+    Example:
+        >>> a = TraceRecords.from_addresses([1, 2])
+        >>> records_equal(a, TraceRecords.from_addresses([1, 2]))
+        True
+    """
+    return (
+        bool(np.array_equal(left.addresses, right.addresses))
+        and bool(np.array_equal(left.kinds, right.kinds))
+        and bool(np.array_equal(left.cycles, right.cycles))
+    )
+
+
+def concat_records(chunks: Iterable[TraceRecords]) -> TraceRecords:
+    """Concatenate record chunks into one chunk (test/report convenience)."""
+    parts = list(chunks)
+    if not parts:
+        empty = np.empty(0, dtype=_U64)
+        return TraceRecords(empty, np.empty(0, dtype=_U8), empty.copy())
+    return TraceRecords(
+        np.concatenate([part.addresses for part in parts]),
+        np.concatenate([part.kinds for part in parts]),
+        np.concatenate([part.cycles for part in parts]),
+    )
+
+
+#: Adapter reader: ``(source, chunk_records=..., **options) -> Iterator[TraceRecords]``.
+_Reader = Callable[..., Iterator[TraceRecords]]
+#: Adapter writer: ``(destination, chunks, **options) -> records written``.
+_Writer = Callable[..., int]
+
+
+@dataclass(frozen=True)
+class TraceFormat:
+    """One registered trace-format adapter.
+
+    Attributes:
+        name: Registry name (``"k6"``, ``"mase"``, ``"bin"``, ``"raw"``).
+        description: One-line description shown by the CLI.
+        read: Chunked reader (bounded memory, short-read safe).
+        write: Chunked writer consuming :class:`TraceRecords` chunks.
+        markers: Lowercase filename markers used by :func:`detect_format`.
+        lossy_metadata: True when the writer cannot represent kinds/cycles
+            (binary and raw dumps store bare addresses).
+    """
+
+    name: str
+    description: str
+    read: _Reader
+    write: _Writer
+    markers: Tuple[str, ...] = ()
+    lossy_metadata: bool = False
+
+
+_FORMATS: Dict[str, TraceFormat] = {}
+
+
+def register_format(fmt: TraceFormat) -> TraceFormat:
+    """Add an adapter to the registry (name must be unique)."""
+    if fmt.name in _FORMATS:
+        raise ConfigurationError(f"trace format {fmt.name!r} is already registered")
+    _FORMATS[fmt.name] = fmt
+    return fmt
+
+
+def get_format(name: str) -> TraceFormat:
+    """Look up one adapter by registry name.
+
+    Example:
+        >>> import repro.traces.formats  # populate the registry
+        >>> get_format("k6").name
+        'k6'
+    """
+    try:
+        return _FORMATS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown trace format {name!r}; registered: {format_names()}"
+        ) from None
+
+
+def format_names() -> Tuple[str, ...]:
+    """Registered format names, in registration order."""
+    return tuple(_FORMATS)
+
+
+def detect_format(path) -> Optional[str]:
+    """Guess the format of ``path`` from its filename, or return ``None``.
+
+    The rules (documented in ``docs/trace-formats.md``): a trailing ``.gz``
+    is stripped first, then the basename is matched case-insensitively
+    against each registered format's markers — ``k6``/``mase`` as a name
+    prefix or dotted extension (the DRAMSim2 convention names traces
+    ``k6_*.trc`` / ``mase_*.trc``), ``.bin``/``.dump`` for fixed-record
+    binary dumps and ``.raw``/``.addr`` for raw 64-bit traces.
+
+    Example:
+        >>> import repro.traces.formats
+        >>> detect_format("traces/k6_foo.trc.gz")
+        'k6'
+        >>> detect_format("notes.txt") is None
+        True
+    """
+    name = os.path.basename(os.fspath(path)).lower()
+    if name.endswith(".gz"):
+        name = name[: -len(".gz")]
+    for fmt in _FORMATS.values():
+        for marker in fmt.markers:
+            if marker.startswith("."):
+                if name.endswith(marker) or (marker + ".") in name:
+                    return fmt.name
+            elif name.startswith(marker) or ("." + marker) in name:
+                return fmt.name
+    return None
+
+
+@dataclass
+class _Handle:
+    """A file handle plus the extra handles to close with it (gz stacking)."""
+
+    stream: object
+    owned: Tuple[object, ...] = field(default_factory=tuple)
+
+    def close(self) -> None:
+        for handle in self.owned:
+            handle.close()
+
+
+def open_trace_source(source) -> _Handle:
+    """Open ``source`` for binary reading, transparently inflating ``.gz``.
+
+    File objects pass through untouched (and are not closed by the caller's
+    :meth:`_Handle.close`); paths ending in ``.gz`` are wrapped in a
+    :class:`gzip.GzipFile` so adapters never see compressed bytes.
+    """
+    if hasattr(source, "read"):
+        return _Handle(stream=source)
+    path = os.fspath(source)
+    raw = open(path, "rb")
+    if path.lower().endswith(".gz"):
+        inflated = gzip.GzipFile(fileobj=raw, mode="rb")
+        return _Handle(stream=inflated, owned=(inflated, raw))
+    return _Handle(stream=raw, owned=(raw,))
+
+
+def open_trace_sink(destination) -> _Handle:
+    """Open ``destination`` for binary writing, gz-compressing ``.gz`` paths.
+
+    Gzip members are written with a fixed zero mtime and no embedded
+    filename, so writing the same records always produces byte-identical
+    output (the property the golden-fixture tests pin).
+    """
+    if hasattr(destination, "write"):
+        return _Handle(stream=destination)
+    path = os.fspath(destination)
+    raw = open(path, "wb")
+    if path.lower().endswith(".gz"):
+        deflated = gzip.GzipFile(filename="", fileobj=raw, mode="wb", mtime=0)
+        return _Handle(stream=deflated, owned=(deflated, raw))
+    return _Handle(stream=raw, owned=(raw,))

@@ -1,0 +1,243 @@
+"""Line-oriented trace formats: DRAMSim2 ``k6`` and ``mase`` text traces.
+
+Both formats put one reference per line as ``<address> <command> <cycle>``
+(see ``docs/trace-formats.md`` for the full grammar):
+
+* ``k6`` commands are ``P_MEM_RD`` / ``P_MEM_WR`` / ``P_FETCH``::
+
+      0x10000 P_MEM_RD 10
+      0x20000 P_MEM_WR 11
+
+* ``mase`` commands are ``READ`` / ``WRITE`` / ``IFETCH``.
+
+Addresses are hexadecimal with an optional ``0x`` prefix, cycles are
+non-negative decimal integers.  Blank lines and ``#`` comment lines are
+skipped.  Readers stream the file a bounded block at a time and carry the
+trailing partial line across reads (pipes and gzip members may split lines
+anywhere), so memory stays flat for arbitrarily long traces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Tuple
+
+import numpy as np
+
+from repro.errors import TraceFormatError
+from repro.traces.formats.base import (
+    KIND_IFETCH,
+    KIND_READ,
+    KIND_WRITE,
+    TraceFormat,
+    TraceRecords,
+    open_trace_sink,
+    open_trace_source,
+    register_format,
+)
+from repro.traces.trace import DEFAULT_CHUNK_ADDRESSES, check_chunk_addresses
+
+__all__ = [
+    "K6_COMMANDS",
+    "MASE_COMMANDS",
+    "iter_k6_records",
+    "iter_mase_records",
+    "write_k6_records",
+    "write_mase_records",
+    "K6_FORMAT",
+    "MASE_FORMAT",
+]
+
+#: k6 command token -> record-kind code (and the writer's reverse table).
+K6_COMMANDS: Dict[str, int] = {"P_MEM_RD": KIND_READ, "P_MEM_WR": KIND_WRITE, "P_FETCH": KIND_IFETCH}
+
+#: mase command token -> record-kind code.
+MASE_COMMANDS: Dict[str, int] = {"READ": KIND_READ, "WRITE": KIND_WRITE, "IFETCH": KIND_IFETCH}
+
+#: Bytes of one generous text line; sizes the read blocks so that a block
+#: holds roughly ``chunk_records`` lines.
+_APPROX_LINE_BYTES = 40
+
+_LIMIT = 1 << 64
+
+
+def _parse_lines(
+    lines,
+    commands: Dict[str, int],
+    format_name: str,
+    first_line: int,
+) -> TraceRecords:
+    """Parse text lines into one record chunk, with line-numbered errors."""
+    addresses = []
+    kinds = []
+    cycles = []
+    for offset, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        fields = stripped.split()
+        where = f"{format_name} line {first_line + offset}"
+        if len(fields) != 3:
+            raise TraceFormatError(
+                f"{where}: expected '<address> <command> <cycle>', got {stripped!r}"
+            )
+        try:
+            address = int(fields[0], 16)
+        except ValueError:
+            raise TraceFormatError(f"{where}: bad hexadecimal address {fields[0]!r}") from None
+        kind = commands.get(fields[1])
+        if kind is None:
+            raise TraceFormatError(
+                f"{where}: unknown command {fields[1]!r} (expected one of {sorted(commands)})"
+            )
+        try:
+            cycle = int(fields[2], 10)
+        except ValueError:
+            raise TraceFormatError(f"{where}: bad decimal cycle {fields[2]!r}") from None
+        if not 0 <= address < _LIMIT:
+            raise TraceFormatError(f"{where}: address {fields[0]!r} does not fit in 64 bits")
+        if not 0 <= cycle < _LIMIT:
+            raise TraceFormatError(f"{where}: cycle {fields[2]!r} does not fit in 64 bits")
+        addresses.append(address)
+        kinds.append(kind)
+        cycles.append(cycle)
+    return TraceRecords(
+        np.array(addresses, dtype=np.uint64),
+        np.array(kinds, dtype=np.uint8),
+        np.array(cycles, dtype=np.uint64),
+    )
+
+
+def _iter_text_records(
+    source,
+    commands: Dict[str, int],
+    format_name: str,
+    chunk_records: int,
+) -> Iterator[TraceRecords]:
+    """Shared streaming reader behind both text formats."""
+    chunk_records = check_chunk_addresses(chunk_records)
+    handle = open_trace_source(source)
+    try:
+        pending = b""
+        line_number = 1
+        while True:
+            payload = handle.stream.read(chunk_records * _APPROX_LINE_BYTES)
+            if not payload:
+                if pending:
+                    # Final line without a trailing newline.
+                    chunk = _decode_block(pending, commands, format_name, line_number)
+                    if len(chunk):
+                        yield chunk
+                return
+            if pending:
+                payload = pending + payload
+                pending = b""
+            cut = payload.rfind(b"\n")
+            if cut < 0:
+                # A short read (or one enormous line) split the line; keep
+                # the fragment for the next round.
+                pending = payload
+                continue
+            pending = payload[cut + 1 :]
+            block = payload[: cut + 1]
+            chunk = _decode_block(block, commands, format_name, line_number)
+            line_number += block.count(b"\n")
+            if len(chunk):
+                yield chunk
+    finally:
+        handle.close()
+
+
+def _decode_block(block: bytes, commands, format_name: str, first_line: int) -> TraceRecords:
+    try:
+        text = block.decode("ascii")
+    except UnicodeDecodeError:
+        raise TraceFormatError(
+            f"{format_name} trace contains non-ASCII bytes near line {first_line}"
+        ) from None
+    return _parse_lines(text.splitlines(), commands, format_name, first_line)
+
+
+def _write_text_records(
+    destination,
+    chunks: Iterable[TraceRecords],
+    command_names: Tuple[str, str, str],
+    prefix: str,
+) -> int:
+    """Shared streaming writer: one ``<address> <command> <cycle>`` line each."""
+    handle = open_trace_sink(destination)
+    written = 0
+    try:
+        for chunk in chunks:
+            if not isinstance(chunk, TraceRecords):
+                chunk = TraceRecords.from_addresses(chunk, start_cycle=written)
+            lines = [
+                f"{prefix}{address:x} {command_names[kind]} {cycle}"
+                for address, kind, cycle in zip(
+                    chunk.addresses.tolist(), chunk.kinds.tolist(), chunk.cycles.tolist()
+                )
+            ]
+            if lines:
+                handle.stream.write(("\n".join(lines) + "\n").encode("ascii"))
+                written += len(lines)
+        return written
+    finally:
+        handle.close()
+
+
+def iter_k6_records(source, chunk_records: int = DEFAULT_CHUNK_ADDRESSES) -> Iterator[TraceRecords]:
+    """Stream a DRAMSim2 ``k6`` text trace as bounded-memory record chunks.
+
+    Example:
+        >>> import io
+        >>> chunk, = iter_k6_records(io.BytesIO(b"0x40 P_MEM_RD 7\\n"))
+        >>> int(chunk.addresses[0]), int(chunk.kinds[0]), int(chunk.cycles[0])
+        (64, 0, 7)
+    """
+    return _iter_text_records(source, K6_COMMANDS, "k6", chunk_records)
+
+
+def iter_mase_records(source, chunk_records: int = DEFAULT_CHUNK_ADDRESSES) -> Iterator[TraceRecords]:
+    """Stream a ``mase`` text trace as bounded-memory record chunks.
+
+    Example:
+        >>> import io
+        >>> chunk, = iter_mase_records(io.BytesIO(b"40 IFETCH 3\\n"))
+        >>> int(chunk.addresses[0]), int(chunk.kinds[0])
+        (64, 2)
+    """
+    return _iter_text_records(source, MASE_COMMANDS, "mase", chunk_records)
+
+
+_K6_NAMES = ("P_MEM_RD", "P_MEM_WR", "P_FETCH")
+_MASE_NAMES = ("READ", "WRITE", "IFETCH")
+
+
+def write_k6_records(destination, chunks: Iterable[TraceRecords]) -> int:
+    """Write record chunks as ``k6`` text (``0x``-prefixed hex addresses)."""
+    return _write_text_records(destination, chunks, _K6_NAMES, "0x")
+
+
+def write_mase_records(destination, chunks: Iterable[TraceRecords]) -> int:
+    """Write record chunks as ``mase`` text (``0x``-prefixed hex addresses)."""
+    return _write_text_records(destination, chunks, _MASE_NAMES, "0x")
+
+
+K6_FORMAT = register_format(
+    TraceFormat(
+        name="k6",
+        description="DRAMSim2 k6 text trace: '<hex-address> P_MEM_RD|P_MEM_WR|P_FETCH <cycle>'",
+        read=iter_k6_records,
+        write=write_k6_records,
+        markers=("k6",),
+    )
+)
+
+MASE_FORMAT = register_format(
+    TraceFormat(
+        name="mase",
+        description="mase text trace: '<hex-address> READ|WRITE|IFETCH <cycle>'",
+        read=iter_mase_records,
+        write=write_mase_records,
+        markers=("mase",),
+    )
+)

@@ -374,19 +374,33 @@ def get_workload(name: str) -> SpecLikeWorkload:
 
     Both ``"429.mcf"`` and ``"429"`` resolve to the mcf-like workload, which
     mirrors the paper's habit of abbreviating trace names to their number.
+    Names not in the 22-benchmark suite fall back to the workload zoo
+    (:mod:`repro.traces.zoo`), so mixes and kernel scenarios run everywhere
+    a spec-like name does — sweeps, the harness, ``repro bench``.
 
     Example:
         >>> get_workload("429").name
         '429.mcf'
         >>> len(get_workload("433.milc").reference_stream(1000))  # instr + data refs
         2000
+        >>> get_workload("stream.copy").name                     # zoo fallback
+        'stream.copy'
     """
     if name in _WORKLOADS:
         return _WORKLOADS[name]
     for full_name, workload in _WORKLOADS.items():
         if full_name.split(".")[0] == name:
             return workload
-    raise ConfigurationError(f"unknown spec-like workload {name!r}")
+    # Deferred import: the zoo builds on this module, so importing it at
+    # module scope would be circular.
+    from repro.traces.zoo import ZOO_NAMES, find_zoo_workload
+
+    zoo_workload = find_zoo_workload(name)
+    if zoo_workload is not None:
+        return zoo_workload
+    raise ConfigurationError(
+        f"unknown workload {name!r} (spec-like: {list(SPEC_LIKE_NAMES)}; zoo: {list(ZOO_NAMES)})"
+    )
 
 
 def generate_reference_stream(name: str, length: int, seed: int = 0) -> ReferenceStream:

@@ -1,0 +1,371 @@
+"""The workload zoo: registered multi-core mixes and kernel-style patterns.
+
+Where :mod:`repro.traces.spec_like` models the paper's 22 single-program
+SPEC CPU2006 analogues, the zoo registers the *scenario* workloads used by
+modern memory-system studies (see SNIPPETS.md and ``docs/workloads.md``):
+
+* ``mix1`` .. ``mix7`` — four-core SPEC-CPU2017-like mixes with the
+  per-core compositions of the DRAM-bandwidth study the snippets quote
+  (e.g. mix1 = imagick + sssp + stream_add + mcf).  Cores run in their own
+  address-space slice and their reference streams are interleaved
+  round-robin, one reference per core per turn.
+* ``gap.bfs`` / ``gap.sssp`` / ``gap.cc`` — GAP-benchmark-like graph
+  traversals (frontier scans + pointer chasing over large node arrays).
+* ``stream.add`` / ``stream.copy`` / ``stream.scale`` / ``stream.triad``
+  — STREAM-kernel-like lock-step array sweeps (3, 2, 2 and 3 arrays).
+
+Every zoo entry wraps a regular :class:`SpecLikeWorkload`, and
+:func:`repro.traces.spec_like.get_workload` falls back to this registry, so
+zoo names work everywhere a spec-like name does — ``repro sweep`` specs,
+the analysis harness, ``repro bench --workload`` — with no runner changes.
+
+The per-core compositions follow the quoted study; the *measured* MPKI of
+our synthetic analogues does not reproduce that study's mix1→mix7 MPKI
+ordering (which reflects real-application intensities), so
+``docs/workloads.md`` documents the qualitative bands measured here
+instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.traces import synthetic
+from repro.traces.spec_like import SpecLikeWorkload, get_workload
+
+__all__ = [
+    "ZooWorkload",
+    "ZOO_NAMES",
+    "zoo_suite",
+    "get_zoo_workload",
+    "find_zoo_workload",
+    "zoo_sweep_spec",
+    "measure_mpki",
+]
+
+#: Address-space slice of each core in a mix (keeps per-core streams
+#: disjoint while staying far below the 2**58 block-address tag limit).
+_CORE_STRIDE = 1 << 40
+
+_Builder = Callable[[int, int], np.ndarray]
+
+
+# ---------------------------------------------------------------------------
+# component streams (single-core byte-address builders)
+# ---------------------------------------------------------------------------
+def _imagick(length: int, seed: int) -> np.ndarray:
+    # Blocked image filters: a tiny tile that fits the L1 -> near-zero MPKI.
+    return synthetic.loop_nest(length, base=0x1100_0000, rows=48, cols=48, element_bytes=8)
+
+
+def _leela(length: int, seed: int) -> np.ndarray:
+    # Go tree search: small hot board state, cache-resident.
+    return synthetic.random_working_set(length, working_set_blocks=400, base=0x1200_0000, seed=seed)
+
+
+def _deepsjeng(length: int, seed: int) -> np.ndarray:
+    # Chess: transposition-table probes over a table larger than the L1.
+    return synthetic.random_working_set(
+        length, working_set_blocks=20_000, base=0x1300_0000, seed=seed
+    )
+
+
+def _sssp(length: int, seed: int) -> np.ndarray:
+    # Delta-stepping SSSP: distance-array pointer chasing + bucket scans.
+    return synthetic.phased_stream(
+        [
+            synthetic.pointer_chase(
+                max(length // 2, 1), num_nodes=150_000, base=0x1400_0000, seed=seed
+            ),
+            synthetic.random_working_set(
+                max(length - length // 2, 1),
+                working_set_blocks=60_000,
+                base=0x1500_0000,
+                seed=seed + 1,
+            ),
+        ]
+    )[:length]
+
+
+def _bfs(length: int, seed: int) -> np.ndarray:
+    # Top-down BFS: sequential frontier scans + random neighbour visits.
+    return synthetic.phased_stream(
+        [
+            synthetic.sequential_stream(max(length // 2, 1), base=0x1600_0000, stride=64),
+            synthetic.random_working_set(
+                max(length - length // 2, 1),
+                working_set_blocks=100_000,
+                base=0x1700_0000,
+                seed=seed,
+            ),
+        ]
+    )[:length]
+
+
+def _cc(length: int, seed: int) -> np.ndarray:
+    # Connected components: label propagation = edge scans + label chasing.
+    return synthetic.phased_stream(
+        [
+            synthetic.strided_stream(
+                max(length // 2, 1), base=0x1800_0000, stride=64, wrap_bytes=1 << 24
+            ),
+            synthetic.pointer_chase(
+                max(length - length // 2, 1), num_nodes=80_000, base=0x1900_0000, seed=seed
+            ),
+        ]
+    )[:length]
+
+
+def _stream_kernel(bases: Tuple[int, ...]) -> _Builder:
+    def build(length: int, seed: int) -> np.ndarray:
+        return synthetic.multi_stream(length, bases=list(bases), stride=8)
+
+    return build
+
+
+_stream_add = _stream_kernel((0x2000_0000, 0x2400_0000, 0x2800_0000))
+_stream_copy = _stream_kernel((0x3000_0000, 0x3400_0000))
+_stream_scale = _stream_kernel((0x4000_0000, 0x4400_0000))
+_stream_triad = _stream_kernel((0x5000_0000, 0x5400_0000, 0x5800_0000))
+
+
+def _spec2006(name: str) -> _Builder:
+    """Reuse a SPEC-CPU2006-like builder for its 2017 counterpart."""
+
+    def build(length: int, seed: int) -> np.ndarray:
+        return get_workload(name).build_data(length, seed)
+
+    return build
+
+
+#: Component name -> single-core byte-address builder.
+_COMPONENTS: Dict[str, _Builder] = {
+    "imagick": _imagick,
+    "leela": _leela,
+    "deepsjeng": _deepsjeng,
+    "sssp": _sssp,
+    "bfs": _bfs,
+    "cc": _cc,
+    "mcf": _spec2006("429.mcf"),
+    "lbm": _spec2006("470.lbm"),
+    "omnetpp": _spec2006("471.omnetpp"),
+    "stream_add": _stream_add,
+    "stream_copy": _stream_copy,
+    "stream_scale": _stream_scale,
+    "stream_triad": _stream_triad,
+}
+
+#: Per-core composition of the seven mixes (the quoted study's Table).
+_MIXES: Tuple[Tuple[str, Tuple[str, str, str, str]], ...] = (
+    ("mix1", ("imagick", "sssp", "stream_add", "mcf")),
+    ("mix2", ("leela", "deepsjeng", "omnetpp", "stream_copy")),
+    ("mix3", ("sssp", "bfs", "stream_scale", "lbm")),
+    ("mix4", ("bfs", "stream_add", "mcf", "lbm")),
+    ("mix5", ("bfs", "mcf", "stream_triad", "lbm")),
+    ("mix6", ("sssp", "stream_scale", "stream_triad", "stream_copy")),
+    ("mix7", ("mcf", "stream_triad", "lbm", "stream_copy")),
+)
+
+
+def _interleave_cores(parts: List[np.ndarray]) -> np.ndarray:
+    """Round-robin interleave per-core streams element by element."""
+    total = sum(int(part.size) for part in parts)
+    out = np.empty(total, dtype=np.uint64)
+    cores = len(parts)
+    for core, part in enumerate(parts):
+        out[core::cores] = part
+    return out
+
+
+def _mix_builder(components: Tuple[str, ...]) -> _Builder:
+    def build(length: int, seed: int) -> np.ndarray:
+        cores = len(components)
+        parts = []
+        for core, component in enumerate(components):
+            core_length = len(range(core, length, cores))
+            if core_length == 0:
+                parts.append(np.empty(0, dtype=np.uint64))
+                continue
+            data = _COMPONENTS[component](core_length, seed + core)
+            parts.append(
+                (data + np.uint64(core * _CORE_STRIDE)).astype(np.uint64)
+            )
+        return _interleave_cores(parts)
+
+    return build
+
+
+@dataclass(frozen=True)
+class ZooWorkload:
+    """One registered zoo scenario (catalog entry + runnable workload).
+
+    Attributes:
+        workload: The wrapped :class:`SpecLikeWorkload` (name, builder).
+        family: Pattern family — ``"mix"``, ``"gap"`` or ``"stream"``.
+        cores: Modelled core count (1 for single-kernel entries).
+        components: Per-core component names (mixes) or the kernel name.
+    """
+
+    workload: SpecLikeWorkload
+    family: str
+    cores: int
+    components: Tuple[str, ...]
+
+    @property
+    def name(self) -> str:
+        """Registry name (``"mix3"``, ``"gap.bfs"``, ``"stream.add"``)."""
+        return self.workload.name
+
+    @property
+    def description(self) -> str:
+        """One-line description shown by ``repro zoo``."""
+        return self.workload.description
+
+
+def _single(name: str, component: str, family: str, description: str) -> ZooWorkload:
+    return ZooWorkload(
+        workload=SpecLikeWorkload(
+            name=name,
+            description=description,
+            build_data=_COMPONENTS[component],
+            stability="mixed" if family == "gap" else "stable",
+        ),
+        family=family,
+        cores=1,
+        components=(component,),
+    )
+
+
+def _build_registry() -> Dict[str, ZooWorkload]:
+    registry: Dict[str, ZooWorkload] = {}
+    for name, components in _MIXES:
+        registry[name] = ZooWorkload(
+            workload=SpecLikeWorkload(
+                name=name,
+                description="4-core SPEC-2017-like mix: " + " + ".join(components),
+                build_data=_mix_builder(components),
+                stability="mixed",
+            ),
+            family="mix",
+            cores=4,
+            components=components,
+        )
+    registry["gap.bfs"] = _single(
+        "gap.bfs", "bfs", "gap", "GAP-like BFS: frontier scans + random neighbour visits"
+    )
+    registry["gap.sssp"] = _single(
+        "gap.sssp", "sssp", "gap", "GAP-like SSSP: pointer chasing + bucket working set"
+    )
+    registry["gap.cc"] = _single(
+        "gap.cc", "cc", "gap", "GAP-like connected components: edge scans + label chasing"
+    )
+    registry["stream.add"] = _single(
+        "stream.add", "stream_add", "stream", "STREAM add: a[i] = b[i] + c[i] over three arrays"
+    )
+    registry["stream.copy"] = _single(
+        "stream.copy", "stream_copy", "stream", "STREAM copy: a[i] = b[i] over two arrays"
+    )
+    registry["stream.scale"] = _single(
+        "stream.scale", "stream_scale", "stream", "STREAM scale: a[i] = q * b[i] over two arrays"
+    )
+    registry["stream.triad"] = _single(
+        "stream.triad", "stream_triad", "stream", "STREAM triad: a[i] = b[i] + q * c[i]"
+    )
+    return registry
+
+
+_REGISTRY: Dict[str, ZooWorkload] = _build_registry()
+
+#: Zoo workload names, mixes first, then GAP-like, then STREAM-like.
+ZOO_NAMES: Tuple[str, ...] = tuple(_REGISTRY)
+
+
+def zoo_suite() -> List[ZooWorkload]:
+    """Return every zoo entry, in :data:`ZOO_NAMES` order.
+
+    Example:
+        >>> len(zoo_suite()) >= 10
+        True
+    """
+    return [_REGISTRY[name] for name in ZOO_NAMES]
+
+
+def get_zoo_workload(name: str) -> ZooWorkload:
+    """Look up one zoo entry by name.
+
+    Example:
+        >>> get_zoo_workload("mix1").components[0]
+        'imagick'
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown zoo workload {name!r}; registered: {list(ZOO_NAMES)}"
+        ) from None
+
+
+def find_zoo_workload(name: str) -> Optional[SpecLikeWorkload]:
+    """Resolve a zoo name to its runnable workload, or ``None``.
+
+    This is the :func:`repro.traces.spec_like.get_workload` fallback hook —
+    it never raises, so unknown names still produce the spec-like error.
+    """
+    entry = _REGISTRY.get(name)
+    return entry.workload if entry is not None else None
+
+
+def zoo_sweep_spec(
+    references: Optional[int] = None,
+    codecs: Tuple[str, ...] = ("lossless",),
+    names: Optional[Tuple[str, ...]] = None,
+    name: str = "workload-zoo",
+):
+    """Build a :class:`repro.experiments.spec.SweepSpec` over the zoo grid.
+
+    Args:
+        references: Per-workload reference count (``None`` inherits the
+            sweep scale's default).
+        codecs: Codec kinds, one column per kind.
+        names: Zoo subset (default: every registered workload).
+        name: Sweep name used in reports and the result cache.
+
+    Example:
+        >>> spec = zoo_sweep_spec(references=2000)
+        >>> spec.num_units >= 10
+        True
+    """
+    from repro.experiments.spec import CodecSpec, SweepSpec, WorkloadSpec
+
+    selected = ZOO_NAMES if names is None else tuple(names)
+    for entry in selected:
+        get_zoo_workload(entry)  # validate early, with the zoo's error
+    return SweepSpec(
+        name=name,
+        workloads=tuple(WorkloadSpec(n, references=references) for n in selected),
+        codecs=tuple(CodecSpec(kind=kind) for kind in codecs),
+    )
+
+
+def measure_mpki(name: str, references: int = 20_000, seed: int = 0) -> float:
+    """Misses per kilo-reference of a zoo (or spec-like) workload.
+
+    Filters the workload's combined instruction+data stream through the
+    paper's L1 pair and reports ``1000 * misses / references`` — the
+    qualitative intensity measure behind the ``docs/workloads.md`` bands.
+
+    Example:
+        >>> measure_mpki("stream.copy", references=4000) < measure_mpki(
+        ...     "gap.sssp", references=4000)
+        True
+    """
+    from repro.traces.filter import filter_reference_stream
+    from repro.traces.spec_like import generate_reference_stream
+
+    stream = generate_reference_stream(name, references, seed=seed)
+    result = filter_reference_stream(stream)
+    return 1000.0 * len(result.trace) / max(result.total_references, 1)

@@ -195,8 +195,8 @@ class TestReproUmbrella:
         captured = capsys.readouterr().err
         assert "unknown subcommand" in captured
         # The error path prints the full usage, which must list every
-        # subcommand — including sweep.
-        for subcommand in ("compress", "decompress", "inspect", "sweep"):
+        # subcommand registered in the dispatch table.
+        for subcommand in ("compress", "decompress", "inspect", "convert", "zoo", "sweep", "bench"):
             assert subcommand in captured
 
     def test_no_arguments_prints_usage(self, capsys):
@@ -210,6 +210,8 @@ class TestReproUmbrella:
         captured = capsys.readouterr().out
         assert "subcommands" in captured
         assert "sweep       run declarative experiment sweeps" in captured
+        assert "convert" in captured
+        assert "zoo" in captured
 
 
 @pytest.fixture
@@ -330,3 +332,91 @@ class TestInspect:
 
     def test_inspect_missing_container(self, tmp_path):
         assert inspect_main([str(tmp_path / "missing")]) == 1
+
+
+@pytest.fixture
+def k6_trace_file(tmp_path):
+    from repro.traces.formats import TraceRecords, write_k6_records
+
+    path = tmp_path / "k6_small.trc.gz"
+    addresses = (np.arange(5000, dtype=np.uint64) * np.uint64(2654435761)) % np.uint64(1 << 24)
+    kinds = (np.arange(5000) % 3).astype(np.uint8)
+    cycles = np.arange(5000, dtype=np.uint64) * np.uint64(3)
+    records = TraceRecords(addresses, kinds, cycles)
+    write_k6_records(path, [records])
+    return path, records
+
+
+class TestConvertSubcommand:
+    def test_k6_gz_round_trips_through_a_container(self, tmp_path, k6_trace_file, capsys):
+        from repro.traces.formats import iter_k6_records, records_equal
+
+        source, records = k6_trace_file
+        container = tmp_path / "container"
+        assert (
+            main(["convert", str(source), str(container), "--buffer-addresses", "2000"]) == 0
+        )
+        assert "coded 5000 addresses" in capsys.readouterr().err
+        assert (container / "SIDECAR.bz2").is_file()
+
+        back = tmp_path / "back.k6.trc.gz"
+        assert main(["convert", str(container), str(back)]) == 0
+        assert "exported 5000 records" in capsys.readouterr().err
+        chunks = list(iter_k6_records(back))
+        parsed = chunks[0] if len(chunks) == 1 else None
+        if parsed is None:
+            from repro.traces.formats import concat_records
+
+            parsed = concat_records(chunks)
+        assert records_equal(parsed, records)
+
+    def test_explicit_format_flags_and_binary_layout(self, tmp_path, k6_trace_file):
+        from repro.traces.formats import BinaryLayout, iter_binary_records
+
+        source, records = k6_trace_file
+        container = tmp_path / "container"
+        assert main(["convert", str(source), str(container), "--buffer-addresses", "2000"]) == 0
+        out = tmp_path / "mystery.out"
+        assert (
+            main(
+                ["convert", str(container), str(out), "--to", "bin",
+                 "--record-bytes", "12", "--address-bytes", "4"]
+            )
+            == 0
+        )
+        layout = BinaryLayout(record_bytes=12, address_bytes=4)
+        with open(out, "rb") as handle:
+            chunks = list(iter_binary_records(handle, layout=layout))
+        total = sum(len(chunk) for chunk in chunks)
+        assert total == len(records)
+
+    def test_undetectable_format_is_a_runtime_error(self, tmp_path, capsys):
+        source = tmp_path / "mystery.txt"
+        source.write_text("0x40 P_MEM_RD 1\n")
+        assert main(["convert", str(source), str(tmp_path / "container")]) == 1
+        assert "repro convert: error:" in capsys.readouterr().err
+
+    def test_missing_source_is_a_runtime_error(self, tmp_path, capsys):
+        assert main(["convert", str(tmp_path / "absent.k6.trc"), str(tmp_path / "c")]) == 1
+        assert "repro convert: error:" in capsys.readouterr().err
+
+
+class TestZooSubcommand:
+    def test_text_listing_covers_the_catalog(self, capsys):
+        from repro.traces.zoo import ZOO_NAMES
+
+        assert main(["zoo"]) == 0
+        out = capsys.readouterr().out
+        for name in ZOO_NAMES:
+            assert name in out
+
+    def test_family_filter_and_json(self, capsys):
+        import json
+
+        assert main(["zoo", "--family", "stream", "-f", "json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert {entry["name"] for entry in entries} == {
+            "stream.add", "stream.copy", "stream.scale", "stream.triad"
+        }
+        assert all(entry["family"] == "stream" for entry in entries)
+        assert all(entry["cores"] == 1 for entry in entries)

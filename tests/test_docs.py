@@ -90,6 +90,7 @@ def _parse_info_per_spec(container: Path):
 class TestDocsStructure:
     def test_docs_directory_has_the_promised_pages(self):
         for page in ("index.md", "architecture.md", "paper-map.md", "atc-format.md",
+                     "trace-formats.md", "workloads.md",
                      "experiments.md", "performance.md", "cli.md"):
             assert (_DOCS / page).is_file(), f"docs/{page} missing"
 
@@ -203,3 +204,105 @@ class TestAtcFormatSpecAgainstGoldenFixtures:
         for constant in ("ATCINFO1", "ATCL", "'<BII'", "'<4sBQQ'", "2048",
                          "original_length", "u32 header_length"):
             assert constant in spec, f"atc-format.md no longer documents {constant}"
+
+
+_TRACES = Path(__file__).resolve().parent / "data" / "traces"
+
+# Constants exactly as documented in docs/trace-formats.md.
+_K6_COMMANDS = {"P_MEM_RD": 0, "P_MEM_WR": 1, "P_FETCH": 2}
+_SIDECAR_MAGIC = b"ATCSIDE1"
+
+
+def _parse_k6_per_spec(path: Path):
+    """Parse a k6 trace following docs/trace-formats.md, not the library.
+
+    Grammar per the spec page: gz-transparent by filename, blank lines and
+    ``#`` comment lines skipped, three whitespace-separated fields per
+    record — hex address (optional ``0x``, any case), command token, and
+    a decimal cycle count.
+    """
+    import gzip
+
+    opener = gzip.open if path.name.endswith(".gz") else open
+    records = []
+    with opener(path, "rt", encoding="ascii") as handle:
+        for line in handle:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            address, command, cycle = stripped.split()
+            records.append((int(address, 16), _K6_COMMANDS[command], int(cycle)))
+    return records
+
+
+def _parse_sidecar_per_spec(path: Path):
+    """Parse SIDECAR.bz2 following docs/trace-formats.md, not the library.
+
+    Documented layout: one bz2 stream whose decompressed body starts with
+    the ``ATCSIDE1`` magic, followed by frames of ``u32 count`` (LE, >= 1),
+    ``count`` one-byte kinds, then ``count`` ``u64`` little-endian cycle
+    deltas; absolute cycles are the running sum modulo 2^64 carried across
+    frame boundaries from an initial cycle of 0.
+    """
+    body = bz2.decompress(path.read_bytes())
+    assert body[:8] == _SIDECAR_MAGIC, "sidecar must start with the documented magic"
+    offset, cycle, records = 8, 0, []
+    while offset < len(body):
+        (count,) = struct.unpack_from("<I", body, offset)
+        assert count >= 1, "documented frames hold at least one record"
+        offset += 4
+        kinds = body[offset : offset + count]
+        offset += count
+        for index in range(count):
+            (delta,) = struct.unpack_from("<Q", body, offset + 8 * index)
+            cycle = (cycle + delta) % (1 << 64)
+            records.append((kinds[index], cycle))
+        offset += 8 * count
+    assert offset == len(body), "no trailing bytes after the final frame"
+    return records
+
+
+class TestTraceFormatSpecAgainstFixtures:
+    """docs/trace-formats.md re-parsed independently against the adapters."""
+
+    @pytest.mark.parametrize("fixture", ["k6_mixed.trc", "k6_golden.trc.gz"])
+    def test_doc_driven_k6_parser_agrees_with_the_adapter(self, fixture):
+        from repro.traces.formats import concat_records, iter_k6_records
+
+        path = _TRACES / fixture
+        documented = _parse_k6_per_spec(path)
+        library = concat_records(iter_k6_records(path))
+        assert len(documented) == len(library)
+        assert [a for a, _, _ in documented] == library.addresses.tolist()
+        assert [k for _, k, _ in documented] == library.kinds.tolist()
+        assert [c for _, _, c in documented] == library.cycles.tolist()
+
+    def test_doc_driven_sidecar_parser_agrees_with_the_library(self):
+        from repro.traces.formats import SidecarReader
+
+        container = _GOLDEN / "lossless_k6"
+        documented = _parse_sidecar_per_spec(container / "SIDECAR.bz2")
+        reader = SidecarReader(container / "SIDECAR.bz2")
+        kinds, cycles = reader.take(len(documented))
+        reader.verify_exhausted()
+        assert [k for k, _ in documented] == kinds.tolist()
+        assert [c for _, c in documented] == cycles.tolist()
+
+    def test_sidecar_covers_the_whole_container(self):
+        metadata, _ = _parse_info_per_spec(_GOLDEN / "lossless_k6")
+        documented = _parse_sidecar_per_spec(_GOLDEN / "lossless_k6" / "SIDECAR.bz2")
+        assert len(documented) == metadata["original_length"]
+
+    def test_documented_constants_appear_in_the_spec_page(self):
+        spec = (_DOCS / "trace-formats.md").read_text(encoding="utf-8")
+        for constant in ("ATCSIDE1", "SIDECAR.bz2", "P_MEM_RD", "P_MEM_WR", "P_FETCH",
+                         "READ", "WRITE", "IFETCH", "u32 count", "mtime=0",
+                         "record_bytes", "address_offset", "address_bytes"):
+            assert constant in spec, f"trace-formats.md no longer documents {constant}"
+
+    def test_workloads_page_catalogs_every_zoo_name(self):
+        from repro.traces.zoo import ZOO_NAMES
+
+        page = (_DOCS / "workloads.md").read_text(encoding="utf-8")
+        for name in ZOO_NAMES:
+            assert name in page, f"workloads.md does not catalog {name}"
