@@ -6,13 +6,18 @@ and metric:
 
 * **wall time** — fails when the current run is more than ``max_slowdown``
   times the baseline (default 1.25, the gate's ">25% regression" band).
-  For cases whose baseline ran faster than ``min_seconds`` the *baseline
-  is floored at* ``min_seconds`` before the band applies: sub-floor
-  timings are scheduler noise, and a raw ratio over noise only produces
-  flaky gates — but a case that jumps from 14 ms to 140 ms still blows
-  well past ``min_seconds * max_slowdown`` and fails.  The *suite total*
-  (summed over the cases both reports share) is gated by the same band as
-  a second aggregate guard.
+  Baselines below the *noise floor* are floored before the band applies:
+  sub-floor timings are scheduler noise, and a raw ratio over noise only
+  produces flaky gates — but a case that jumps well past the floored band
+  still fails.  The floor is **scale-aware**: the larger of a small
+  absolute floor (``min_seconds``, default 5 ms) and a fixed fraction of
+  the *baseline suite's total wall time* (``noise_fraction``, default
+  4%).  A flat floor sized for one era of the suite goes blind as cases
+  get faster — when the fastest case beats the floor, its regressions
+  are invisible — whereas a fraction of the suite total shrinks with
+  every speed-up and keeps the fast cases gated.  The *suite total*
+  (summed over the cases both reports share) is gated by the same band
+  as a second aggregate guard.
 * **bits per address** — fails on *any* drift beyond float round-off
   (default tolerance ``1e-9`` relative).  The synthetic workloads are
   seeded and the containers byte-identical across executors, so for a
@@ -42,8 +47,14 @@ __all__ = ["BenchCheck", "BenchComparison", "compare_reports"]
 #: Default tolerance band: fail beyond a 25% wall-time regression.
 DEFAULT_MAX_SLOWDOWN = 1.25
 
-#: Baseline cases faster than this are exempt from the wall-time check.
-DEFAULT_MIN_SECONDS = 0.05
+#: Absolute noise-floor component: baselines below the effective floor are
+#: floored before the band applies (see ``DEFAULT_NOISE_FRACTION``).
+DEFAULT_MIN_SECONDS = 0.005
+
+#: Scale-aware noise-floor component: fraction of the baseline suite's
+#: total wall time.  The effective floor is
+#: ``max(min_seconds, noise_fraction * baseline_total)``.
+DEFAULT_NOISE_FRACTION = 0.04
 
 #: Relative tolerance for the bits-per-address drift check (round-off only).
 DEFAULT_BPA_TOLERANCE = 1e-9
@@ -113,6 +124,7 @@ def compare_reports(
     max_slowdown: float = DEFAULT_MAX_SLOWDOWN,
     min_seconds: float = DEFAULT_MIN_SECONDS,
     bpa_tolerance: float = DEFAULT_BPA_TOLERANCE,
+    noise_fraction: float = DEFAULT_NOISE_FRACTION,
 ) -> BenchComparison:
     """Compare a fresh report against the committed baseline.
 
@@ -126,9 +138,12 @@ def compare_reports(
         current: The fresh run's report dict.
         baseline: The committed baseline report dict.
         max_slowdown: Wall-time tolerance band (1.25 = fail beyond +25%).
-        min_seconds: Baseline wall-time floor below which the timing check
-            is skipped as noise.
+        min_seconds: Absolute component of the noise floor.
         bpa_tolerance: Relative bits-per-address tolerance (round-off only).
+        noise_fraction: Scale-aware component of the noise floor, as a
+            fraction of the baseline suite's total wall time over the
+            shared cases; the effective floor is
+            ``max(min_seconds, noise_fraction * baseline_total)``.
 
     Returns:
         A :class:`BenchComparison`; inspect ``.ok`` for the gate verdict.
@@ -137,6 +152,8 @@ def compare_reports(
     validate_report(baseline)
     if max_slowdown < 1.0:
         raise BenchmarkError(f"max_slowdown must be >= 1.0, got {max_slowdown}")
+    if not 0.0 <= noise_fraction < 1.0:
+        raise BenchmarkError(f"noise_fraction must be in [0, 1), got {noise_fraction}")
     if current["scale"] != baseline["scale"]:
         raise BenchmarkError(
             "benchmark reports were run at different scales and cannot be compared: "
@@ -144,6 +161,9 @@ def compare_reports(
         )
     current_by_name = _indexed(current)
     baseline_by_name = _indexed(baseline)
+    shared = [name for name in baseline_by_name if name in current_by_name]
+    baseline_total = sum(float(baseline_by_name[n]["seconds"]) for n in shared)
+    floor = max(min_seconds, noise_fraction * baseline_total)
     checks: List[BenchCheck] = []
     for name, base in baseline_by_name.items():
         entry = current_by_name.get(name)
@@ -152,19 +172,18 @@ def compare_reports(
                 BenchCheck(name, "coverage", False, "present in baseline but missing from this run")
             )
             continue
-        checks.append(_check_seconds(name, entry, base, max_slowdown, min_seconds))
+        checks.append(_check_seconds(name, entry, base, max_slowdown, floor))
         bpa_check = _check_bits_per_address(name, entry, base, bpa_tolerance)
         if bpa_check is not None:
             checks.append(bpa_check)
-    shared = [name for name in baseline_by_name if name in current_by_name]
     if shared:
         # Aggregate band: per-case noise floors must not let a gross
         # regression in a fast case ride in — summed over the shared cases
         # the same tolerance applies unconditionally.
         total_entry = {"seconds": sum(float(current_by_name[n]["seconds"]) for n in shared)}
-        total_base = {"seconds": sum(float(baseline_by_name[n]["seconds"]) for n in shared)}
+        total_base = {"seconds": baseline_total}
         checks.append(
-            _check_seconds("suite-total", total_entry, total_base, max_slowdown, min_seconds)
+            _check_seconds("suite-total", total_entry, total_base, max_slowdown, floor)
         )
     for name in current_by_name:
         if name not in baseline_by_name:
@@ -175,15 +194,16 @@ def compare_reports(
 
 
 def _check_seconds(
-    name: str, entry: Dict, base: Dict, max_slowdown: float, min_seconds: float
+    name: str, entry: Dict, base: Dict, max_slowdown: float, floor: float
 ) -> BenchCheck:
     current_s, base_s = float(entry["seconds"]), float(base["seconds"])
     # Sub-floor baselines are scheduler noise: flooring (instead of
     # skipping) keeps jitter green while a gross regression that climbs
-    # past min_seconds * max_slowdown still fails.
-    effective = max(base_s, min_seconds)
+    # past floor * max_slowdown still fails.  The caller computes the
+    # scale-aware floor once per comparison from the baseline suite total.
+    effective = max(base_s, floor)
     ok = current_s <= effective * max_slowdown
-    floored = " (baseline floored at the noise level)" if base_s < min_seconds else ""
+    floored = " (baseline floored at the noise level)" if base_s < floor else ""
     ratio = current_s / effective if effective > 0 else float("inf")
     comparison = (
         f"{current_s:.3f}s vs baseline {base_s:.3f}s "

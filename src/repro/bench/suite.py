@@ -164,7 +164,8 @@ def _bench_filter_assoc(ctx: _SuiteContext) -> Tuple[int, Optional[int], Optiona
     config = CacheConfig.from_capacity(
         64 * 1024, associativity=8, policy="lru", name="L1-8way"
     )
-    result = CacheFilter(config, config).filter(ctx.require_stream())
+    cache_filter = CacheFilter(config, config, workers=ctx.workers, executor=ctx.executor)
+    result = cache_filter.filter(ctx.require_stream())
     return int(result.trace.addresses.size), None, None
 
 

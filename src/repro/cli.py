@@ -71,11 +71,18 @@ def _silence_stdout() -> None:
 
 
 def _exit_quietly_on_broken_pipe(entry):
-    """Wrap a CLI entry point so ``tool | head`` never tracebacks.
+    """Wrap a CLI entry point so ``tool | head`` and Ctrl-C never traceback.
 
     Every console script in ``pyproject.toml`` points at a wrapped main, so
-    the standalone tools and the ``repro`` umbrella behave identically when
-    the reader closes the pipe early: silence stdout, exit 1.
+    the standalone tools and the ``repro`` umbrella behave identically:
+
+    * a reader closing the pipe early (``repro zoo | head``) is the normal
+      end of output, not a failure — silence stdout (so the interpreter's
+      exit flush cannot raise a second ``BrokenPipeError``), flush stderr
+      and exit **0**, the convention of well-behaved Unix filters;
+    * an interrupt (Ctrl-C) flushes stderr and exits **130**
+      (``128 + SIGINT``), the shell's conventional interrupt status,
+      instead of escaping ``main()`` as a ``KeyboardInterrupt`` traceback.
     """
 
     @functools.wraps(entry)
@@ -84,7 +91,17 @@ def _exit_quietly_on_broken_pipe(entry):
             return entry(argv)
         except BrokenPipeError:
             _silence_stdout()
-            return 1
+            try:
+                sys.stderr.flush()
+            except OSError:
+                pass
+            return 0
+        except KeyboardInterrupt:
+            try:
+                sys.stderr.flush()
+            except OSError:
+                pass
+            return 130
 
     return wrapper
 

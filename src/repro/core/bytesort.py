@@ -27,10 +27,11 @@ variant that processes a long trace with a finite buffer of ``B`` addresses
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable
 
 import numpy as np
 
+from repro.core.kernel_backends import compiled_bytesort
 from repro.errors import CodecError
 from repro.traces.trace import ADDRESS_BYTES, as_address_array
 
@@ -72,14 +73,21 @@ def bytesort_window(addresses) -> bytes:
         return b""
     # columns[k, j] is byte of order j of address k (j = 0 is the LSB).
     columns = values.view(np.uint8).reshape(count, ADDRESS_BYTES)
+    # one preallocated output matrix, one row per emitted block: a single
+    # final tobytes() replaces eight intermediate byte strings plus a join
+    out = np.empty((ADDRESS_BYTES, count), dtype=np.uint8)
+    compiled = compiled_bytesort()
+    if compiled is not None:
+        compiled[0](np.ascontiguousarray(columns), out)
+        return out.tobytes()
     order = np.arange(count)
-    blocks: List[bytes] = []
-    for position in range(ADDRESS_BYTES - 1, -1, -1):
+    for block_index in range(ADDRESS_BYTES):
+        position = ADDRESS_BYTES - 1 - block_index
         column = columns[order, position]
-        blocks.append(column.tobytes())
+        out[block_index] = column
         if position:  # no need to sort after the last (least significant) block
             order = order[np.argsort(column, kind="stable")]
-    return b"".join(blocks)
+    return out.tobytes()
 
 
 def bytesort_inverse_window(payload: bytes) -> np.ndarray:
@@ -98,7 +106,11 @@ def bytesort_inverse_window(payload: bytes) -> np.ndarray:
     if count == 0:
         return np.empty(0, dtype=np.uint64)
     blocks = np.frombuffer(payload, dtype=np.uint8).reshape(ADDRESS_BYTES, count)
-    columns = np.zeros((count, ADDRESS_BYTES), dtype=np.uint8)
+    columns = np.empty((count, ADDRESS_BYTES), dtype=np.uint8)
+    compiled = compiled_bytesort()
+    if compiled is not None:
+        compiled[1](np.ascontiguousarray(blocks), columns)
+        return columns.view("<u8").reshape(count).copy()
     order = np.arange(count)
     for block_index in range(ADDRESS_BYTES):
         position = ADDRESS_BYTES - 1 - block_index  # byte order j, MSB first
@@ -108,7 +120,7 @@ def bytesort_inverse_window(payload: bytes) -> np.ndarray:
         columns[order, position] = block
         if position:
             order = order[np.argsort(block, kind="stable")]
-    return np.ascontiguousarray(columns).view("<u8").reshape(count).copy()
+    return columns.view("<u8").reshape(count).copy()
 
 
 def bytesort_transform(addresses, buffer_addresses: int = 1_000_000) -> bytes:

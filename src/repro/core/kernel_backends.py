@@ -1,0 +1,207 @@
+"""Optional compiled fast paths behind the NumPy kernels.
+
+The NumPy implementations in :mod:`repro.core.bytesort` and
+:mod:`repro.core.kernels` are the repository's *bit-identity oracles*:
+every other execution strategy — threads, processes, and the compiled
+backend selected here — must reproduce their output byte for byte (the
+golden ``.atc`` fixtures pin this).  This module adds the detection layer
+for an optional `numba <https://numba.pydata.org>`_ backend:
+
+* :func:`resolve_kernel_backend` resolves the ``REPRO_KERNEL_BACKEND``
+  environment variable (``auto`` | ``numpy`` | ``numba``) to the backend
+  that will actually run.  ``auto`` (the default) probes for numba and
+  *silently* falls back to NumPy when it is absent — installing numba is
+  an optimisation, never a requirement.  Requesting ``numba`` explicitly
+  on a machine without it is a configuration error.
+* :func:`compiled_bytesort` returns the jitted forward/inverse bytesort
+  window kernels when the resolved backend is ``numba`` (compiling them
+  on first use), else ``None`` — callers keep the NumPy path as the
+  fallback and the oracle.
+
+The compiled kernels are written as plain ``nopython``-compatible Python
+(:func:`_bytesort_forward` / :func:`_bytesort_backward`): an explicit
+counting sort per byte position, which is exactly the stable
+``argsort``/gather sequence of the NumPy path expressed as one fused
+O(8·n) loop nest.  Because the functions are importable without numba,
+the equivalence suite exercises the *algorithm* against the oracle even
+on machines where no JIT is available.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "KERNEL_BACKEND_NAMES",
+    "resolve_kernel_backend",
+    "numba_available",
+    "compiled_bytesort",
+]
+
+#: Backend names accepted by ``REPRO_KERNEL_BACKEND`` and
+#: :func:`resolve_kernel_backend`.
+KERNEL_BACKEND_NAMES = ("auto", "numpy", "numba")
+
+_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+#: Cached probe result: ``None`` until first checked, then True/False.
+_NUMBA_PROBE: Optional[bool] = None
+
+#: Cached jitted (forward, backward) pair once compiled.
+_COMPILED: Optional[Tuple[Callable, Callable]] = None
+
+
+def numba_available() -> bool:
+    """True when the optional numba JIT can be imported on this machine.
+
+    The probe runs once per process and is cached; the import itself is
+    the only check (a numba that imports but fails to compile surfaces as
+    a normal exception at first compile, not silently wrong results).
+    """
+    global _NUMBA_PROBE
+    if _NUMBA_PROBE is None:
+        try:
+            import numba  # noqa: F401
+
+            _NUMBA_PROBE = True
+        except Exception:  # noqa: BLE001 - any import failure means "absent"
+            _NUMBA_PROBE = False
+    return _NUMBA_PROBE
+
+
+def resolve_kernel_backend(spec: Optional[str] = None) -> str:
+    """Resolve a backend request to the backend that will actually run.
+
+    Args:
+        spec: ``"auto"``, ``"numpy"``, ``"numba"`` or ``None`` to consult
+            the ``REPRO_KERNEL_BACKEND`` environment variable (default
+            ``auto``).
+
+    Returns:
+        ``"numpy"`` or ``"numba"``.  ``auto`` resolves to ``numba`` only
+        when it is importable, falling back to ``numpy`` silently;
+        requesting ``numba`` explicitly without it installed raises
+        :class:`~repro.errors.ConfigurationError`.
+
+    Example:
+        >>> resolve_kernel_backend("numpy")
+        'numpy'
+        >>> resolve_kernel_backend("auto") in ("numpy", "numba")
+        True
+    """
+    name = (spec or os.environ.get(_BACKEND_ENV) or "auto").strip().lower()
+    if name not in KERNEL_BACKEND_NAMES:
+        raise ConfigurationError(
+            f"unknown kernel backend {name!r}; choose from {KERNEL_BACKEND_NAMES}"
+        )
+    if name == "auto":
+        return "numba" if numba_available() else "numpy"
+    if name == "numba" and not numba_available():
+        raise ConfigurationError(
+            "REPRO_KERNEL_BACKEND=numba was requested but numba is not installed; "
+            "install numba or use the 'auto'/'numpy' backends"
+        )
+    return name
+
+
+def _bytesort_forward(columns: np.ndarray, out: np.ndarray) -> None:
+    """Forward bytesort of one window, as one fused counting-sort loop nest.
+
+    ``columns`` is the ``(count, 8)`` little-endian byte view of the
+    window's ``uint64`` addresses; ``out`` receives the eight emitted byte
+    blocks as rows, most significant byte block first.  The stable
+    counting sort replayed per position is *definitionally* the same
+    permutation as the NumPy oracle's stable ``argsort`` — the outputs
+    are byte-identical.  Written nopython-style so numba can compile it
+    unchanged; also runnable (slowly) as plain Python for the tests.
+    """
+    count = columns.shape[0]
+    order = np.arange(count, dtype=np.int64)
+    next_order = np.empty(count, dtype=np.int64)
+    counts = np.empty(256, dtype=np.int64)
+    offsets = np.empty(256, dtype=np.int64)
+    for block_index in range(8):
+        position = 7 - block_index
+        row = out[block_index]
+        for k in range(count):
+            row[k] = columns[order[k], position]
+        if position == 0:
+            break
+        for v in range(256):
+            counts[v] = 0
+        for k in range(count):
+            counts[row[k]] += 1
+        total = 0
+        for v in range(256):
+            offsets[v] = total
+            total += counts[v]
+        for k in range(count):
+            value = row[k]
+            next_order[offsets[value]] = order[k]
+            offsets[value] += 1
+        order, next_order = next_order, order
+
+
+def _bytesort_backward(blocks: np.ndarray, columns: np.ndarray) -> None:
+    """Inverse bytesort of one window (the forward pass replayed).
+
+    ``blocks`` holds the eight emitted byte blocks as rows (MSB block
+    first); ``columns`` receives the ``(count, 8)`` little-endian byte
+    view of the reconstructed addresses.  Mirrors
+    :func:`_bytesort_forward`: scatter the block back to original address
+    indices through the current order, then counting-sort the block to
+    reproduce the encoder's next permutation.
+    """
+    count = blocks.shape[1]
+    order = np.arange(count, dtype=np.int64)
+    next_order = np.empty(count, dtype=np.int64)
+    counts = np.empty(256, dtype=np.int64)
+    offsets = np.empty(256, dtype=np.int64)
+    for block_index in range(8):
+        position = 7 - block_index
+        row = blocks[block_index]
+        for k in range(count):
+            columns[order[k], position] = row[k]
+        if position == 0:
+            break
+        for v in range(256):
+            counts[v] = 0
+        for k in range(count):
+            counts[row[k]] += 1
+        total = 0
+        for v in range(256):
+            offsets[v] = total
+            total += counts[v]
+        for k in range(count):
+            value = row[k]
+            next_order[offsets[value]] = order[k]
+            offsets[value] += 1
+        order, next_order = next_order, order
+
+
+def compiled_bytesort(spec: Optional[str] = None):
+    """The jitted ``(forward, backward)`` bytesort kernels, or ``None``.
+
+    Returns ``None`` whenever the resolved backend is ``numpy`` — the
+    caller's NumPy path is both the fallback and the oracle.  With the
+    ``numba`` backend the two loop nests are compiled once per process
+    (``nopython``, ``nogil`` so threaded encoders overlap) and cached.
+
+    Example:
+        >>> compiled_bytesort("numpy") is None
+        True
+    """
+    if resolve_kernel_backend(spec) != "numba":
+        return None
+    global _COMPILED
+    if _COMPILED is None:
+        import numba
+
+        jit = numba.njit(cache=False, nogil=True)
+        _COMPILED = (jit(_bytesort_forward), jit(_bytesort_backward))
+    return _COMPILED

@@ -64,18 +64,22 @@ class LosslessCodec:
         compressed concurrently — on threads (the stdlib byte-level codecs
         release the GIL) or, with the process executor, on other cores with
         the interval arrays and compressed payloads moved through shared
-        memory.  The result is byte-identical to
-        ``[self.compress(i) for i in intervals]`` for every strategy.
+        memory.  ``intervals`` may be any iterable, including a lazy
+        generator: it is consumed through a bounded submission window
+        (``2 * workers`` tasks in flight), never materialised up front, so
+        the streaming pipeline's bounded-memory guarantee holds for
+        arbitrarily long interval streams.  The result is byte-identical
+        to ``[self.compress(i) for i in intervals]`` for every strategy.
         """
-        from repro.core.parallel import map_ordered
+        from repro.core.parallel import imap_ordered
 
-        return map_ordered(self.compress, list(intervals), workers=workers, executor=executor)
+        return list(imap_ordered(self.compress, intervals, workers=workers, executor=executor))
 
     def decompress_many(self, payloads, workers: int = 1, executor=None) -> list:
         """Decompress several payloads, preserving input order (see above)."""
-        from repro.core.parallel import map_ordered
+        from repro.core.parallel import imap_ordered
 
-        return map_ordered(self.decompress, list(payloads), workers=workers, executor=executor)
+        return list(imap_ordered(self.decompress, payloads, workers=workers, executor=executor))
 
     def decompress(self, payload: bytes) -> np.ndarray:
         """Invert :meth:`compress`."""

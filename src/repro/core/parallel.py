@@ -60,6 +60,7 @@ __all__ = [
     "executor_kind",
     "default_mp_context",
     "map_ordered",
+    "imap_ordered",
     "OrderedChunkWriter",
 ]
 
@@ -99,6 +100,46 @@ def map_ordered(
         return [fn(item) for item in items]
     with executor_scope(executor, workers) as engine:
         return engine.map_ordered(fn, items)
+
+
+def imap_ordered(
+    fn: Callable[[_T], _R],
+    items,
+    workers: int = 1,
+    executor=None,
+    lookahead: Optional[int] = None,
+):
+    """Lazily apply ``fn`` to an item stream, yielding results in order.
+
+    The streaming form of :func:`map_ordered`: ``items`` may be any
+    iterable (including an unbounded generator) and is consumed only as
+    results are yielded, with at most ``lookahead`` tasks (default
+    ``2 * workers``) in flight ahead of the consumer — so both the input
+    items and the pending results stay bounded regardless of stream
+    length.  Results are byte-identical to ``map(fn, items)`` for every
+    strategy; on the serial path items are processed one at a time with
+    no window at all.
+
+    Args:
+        fn: The per-item function.
+        items: The inputs; consumed lazily.
+        workers: Pool size for executors created here (``0``/``None`` =
+            one per CPU).
+        executor: Strategy name, :class:`Executor` instance to borrow, or
+            ``None`` for the environment/auto default.
+        lookahead: In-flight window override (defaults to ``2 * workers``).
+
+    Example:
+        >>> list(imap_ordered(lambda value: value * 2, iter([1, 2, 3])))
+        [2, 4, 6]
+    """
+    if executor is None and resolve_workers(workers) <= 1 and executor_kind(None) == "auto":
+        for item in items:
+            yield fn(item)
+        return
+    with executor_scope(executor, workers) as engine:
+        for result in engine.imap_ordered(fn, items, lookahead=lookahead):
+            yield result
 
 
 class OrderedChunkWriter:

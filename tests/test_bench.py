@@ -184,19 +184,38 @@ class TestComparator:
         assert compare_reports(slower, baseline, max_slowdown=1.25).ok
 
     def test_noise_floor_tolerates_jitter_but_not_gross_regressions(self):
+        # Big suite: total 0.01 + 0.5 = 0.51 s, so the scale-aware floor is
+        # max(5 ms, 4% * 0.51 s) = 20.4 ms — the 10 ms case sits below it.
         baseline = _synthetic_report()
-        baseline["benchmarks"][0]["seconds"] = 0.01  # below the 0.05 s floor
-        baseline["benchmarks"][1]["seconds"] = 0.01
+        baseline["benchmarks"][0]["seconds"] = 0.01
         jittery = copy.deepcopy(baseline)
-        jittery["benchmarks"][0]["seconds"] = 0.04  # 4x, but still sub-floor noise
+        jittery["benchmarks"][0]["seconds"] = 0.02  # 2x, but still sub-floor noise
         assert compare_reports(jittery, baseline).ok
         # A sub-floor case that regresses past the floored band must fail:
         # the floor tolerates noise, it is not a blanket exemption.
         gross = copy.deepcopy(baseline)
-        gross["benchmarks"][0]["seconds"] = 0.14  # ~14x, well past 0.05 * 1.25
+        gross["benchmarks"][0]["seconds"] = 0.14  # 14x, well past 0.0204 * 1.25
         comparison = compare_reports(gross, baseline)
         assert not comparison.ok
         assert any(c.bench == "filter" and c.metric == "seconds" for c in comparison.failures)
+
+    def test_noise_floor_scales_down_with_the_suite(self):
+        # In a fast suite (total 0.02 s) the floor shrinks to the absolute
+        # minimum (5 ms), so a 10 ms -> 40 ms regression is caught — under
+        # the old flat 50 ms floor it would have been invisibly "noise".
+        baseline = _synthetic_report()
+        baseline["benchmarks"][0]["seconds"] = 0.01
+        baseline["benchmarks"][1]["seconds"] = 0.01
+        regressed = copy.deepcopy(baseline)
+        regressed["benchmarks"][0]["seconds"] = 0.04  # 4x past the 0.0125 band
+        comparison = compare_reports(regressed, baseline)
+        assert not comparison.ok
+        assert any(c.bench == "filter" and c.metric == "seconds" for c in comparison.failures)
+
+    def test_bad_noise_fraction_rejected(self):
+        report = _synthetic_report()
+        with pytest.raises(BenchmarkError, match="noise_fraction"):
+            compare_reports(report, copy.deepcopy(report), noise_fraction=1.0)
 
     def test_bits_per_address_drift_fails(self):
         baseline = _synthetic_report()

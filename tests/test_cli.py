@@ -288,8 +288,9 @@ class TestSweepSubcommand:
         assert "an action is required" in capsys.readouterr().err
 
     def test_broken_pipe_exits_quietly(self, sweep_spec_file, monkeypatch):
-        # `repro sweep status SPEC | head` closes stdout early; the umbrella
-        # must exit with an error code, not a BrokenPipeError traceback.
+        # `repro sweep status SPEC | head` closes stdout early; a
+        # well-behaved Unix filter exits 0 (the downstream consumer got all
+        # it wanted), not with an error code or a BrokenPipeError traceback.
         import sys as _sys
 
         class _ClosedPipe:
@@ -305,9 +306,20 @@ class TestSweepSubcommand:
         saved = _sys.stdout
         monkeypatch.setattr(_sys, "stdout", _ClosedPipe())
         try:
-            assert main(["sweep", "status", str(sweep_spec_file)]) == 1
+            assert main(["sweep", "status", str(sweep_spec_file)]) == 0
         finally:
             monkeypatch.setattr(_sys, "stdout", saved)
+
+    def test_keyboard_interrupt_exits_130(self, sweep_spec_file, monkeypatch):
+        # Ctrl-C must map to the shell convention 128 + SIGINT = 130 so that
+        # callers (make, CI, xargs) see the run as interrupted, not failed.
+        import repro.cli as cli_module
+
+        def _interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setitem(cli_module._SUBCOMMANDS, "sweep", (_interrupted, "interrupted"))
+        assert main(["sweep", "status", str(sweep_spec_file)]) == 130
 
 
 class TestInspect:
