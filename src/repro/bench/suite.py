@@ -260,6 +260,73 @@ def _bench_convert_k6(ctx: _SuiteContext):
     return int(summary["addresses"]), int(decoder.compressed_bytes()), float(decoder.bits_per_address())
 
 
+def _bench_sweep_sched(ctx: _SuiteContext):
+    """Distributed-sweep scheduler case: lease/steal/merge over a small grid.
+
+    Drives one distributed worker (lease claim + evaluate + release per
+    cell) through a six-cell codec grid on the suite's filtered trace, then
+    a second, fully-cached stealing pass and a merge — the pure scheduling
+    half of :mod:`repro.experiments.distributed`.  Reported payload bytes
+    sum over the grid, so scheduler bugs that change *what* is computed
+    (or codec drift) move ``bits_per_address`` exactly, while lease/merge
+    overhead lands in the gated wall time.
+    """
+    from repro.experiments import (
+        DistributedSweepRunner,
+        ResultStore,
+        merge_sweep,
+        sweep_spec_from_dict,
+    )
+
+    trace = ctx.require_trace()
+    spec = sweep_spec_from_dict(
+        {
+            "name": "bench-sweep-sched",
+            "workloads": [
+                {
+                    "name": ctx.scale.workload,
+                    "references": ctx.scale.references,
+                    "seed": ctx.scale.seed,
+                }
+            ],
+            "codecs": [
+                {"kind": "raw"},
+                {"kind": "delta"},
+                {"kind": "unshuffle"},
+                {"kind": "raw", "backend": "zlib"},
+                {"kind": "delta", "backend": "zlib"},
+                {"kind": "unshuffle", "backend": "zlib"},
+            ],
+            "scale": {
+                "small_buffer": ctx.scale.buffer_addresses,
+                "interval_length": ctx.scale.interval_length,
+            },
+        }
+    )
+    cache_dir = ctx.root / "sweep-sched"
+    # The suite's trace is the same (workload, seed, paper-default filter)
+    # the spec would generate; sharing it keeps the case about scheduling
+    # and codec work, not trace generation (already gated by 'filter').
+    provider = lambda workload, filter_spec: trace  # noqa: E731
+    first = DistributedSweepRunner(
+        spec, cache_dir, shard="1/1", trace_provider=provider
+    ).run_worker()
+    if first.remaining:
+        raise BenchmarkError("sweep_sched: worker left units unfinished")
+    cached_pass = DistributedSweepRunner(
+        spec, cache_dir, steal=True, trace_provider=provider
+    ).run_worker()
+    if cached_pass.evaluated:
+        raise BenchmarkError("sweep_sched: fully-cached pass recomputed a unit")
+    merged = merge_sweep(spec, ResultStore(cache_dir))
+    if not merged.is_complete:
+        raise BenchmarkError(f"sweep_sched: merge missing {len(merged.missing)} units")
+    addresses = sum(row.addresses for row in merged.result.rows)
+    payload_bytes = sum(row.payload_bytes for row in merged.result.rows)
+    bits = (8.0 * payload_bytes / addresses) if addresses else 0.0
+    return int(addresses), int(payload_bytes), float(bits)
+
+
 #: The suite, in execution order (later cases consume earlier artefacts).
 SUITE_BENCHES: Tuple[Tuple[str, Callable[[_SuiteContext], Tuple[int, Optional[int], Optional[float]]]], ...] = (
     ("filter", _bench_filter),
@@ -271,6 +338,7 @@ SUITE_BENCHES: Tuple[Tuple[str, Callable[[_SuiteContext], Tuple[int, Optional[in
     ("decode_lossy", _bench_decode_lossy),
     ("export_k6", _bench_export_k6),
     ("convert_k6", _bench_convert_k6),
+    ("sweep_sched", _bench_sweep_sched),
 )
 
 #: Stable case names, in execution order.

@@ -560,7 +560,7 @@ def _build_sweep_parser() -> argparse.ArgumentParser:
             "on disk, so re-runs and resumed sweeps skip finished work."
         ),
     )
-    actions = parser.add_subparsers(dest="action", metavar="{run,status,report}")
+    actions = parser.add_subparsers(dest="action", metavar="{run,status,report,merge}")
 
     def add_common(sub) -> None:
         sub.add_argument("spec", help="sweep spec file (.toml, or JSON)")
@@ -589,9 +589,69 @@ def _build_sweep_parser() -> argparse.ArgumentParser:
         help="report format (default: text)",
     )
     run.add_argument("--output", "-o", default=None, help="write the report to this file")
+    run.add_argument(
+        "--shard",
+        default=None,
+        metavar="i/N",
+        help=(
+            "run as distributed worker i of N (1-based): evaluate only the cells whose "
+            "content hash falls in this shard; every worker sharing the cache directory "
+            "computes the same partition (see docs/distributed-sweeps.md)"
+        ),
+    )
+    run.add_argument(
+        "--steal",
+        action="store_true",
+        help=(
+            "after draining the own shard (or instead of one, without --shard), claim "
+            "pending cells of other shards — including cells whose lease went stale "
+            "because their worker crashed"
+        ),
+    )
+    run.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="distributed lease lifetime (default: 600)",
+    )
+    run.add_argument(
+        "--owner",
+        default=None,
+        help="lease identity of this worker (default: host:pid:token)",
+    )
 
     status = actions.add_parser("status", help="show how many grid cells are already cached")
     add_common(status)
+    status.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also show per-shard progress under an N-way partition, plus lease counts",
+    )
+
+    merge = actions.add_parser(
+        "merge",
+        help=(
+            "assemble the report from whatever the cache holds (possibly written by many "
+            "workers), reporting missing cells instead of computing them"
+        ),
+    )
+    add_common(merge)
+    merge.add_argument(
+        "--format",
+        "-f",
+        default="text",
+        choices=("text", "markdown", "csv", "json"),
+        help="report format (default: text)",
+    )
+    merge.add_argument("--output", "-o", default=None, help="write the report to this file")
+    merge.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="emit the partial report with exit status 0 even when cells are missing",
+    )
 
     report = actions.add_parser("report", help="render the report from cached cells only")
     add_common(report)
@@ -627,14 +687,79 @@ def _emit_report(report: str, output: Optional[str]) -> int:
     return 0
 
 
+def _sweep_run_distributed(args, spec, cache_dir: str) -> int:
+    """``repro sweep run --shard i/N [--steal]``: one cooperative worker."""
+    from repro.experiments import DEFAULT_LEASE_TTL, DistributedSweepRunner
+
+    runner = DistributedSweepRunner(
+        spec,
+        cache_dir,
+        shard=args.shard,
+        steal=args.steal,
+        lease_ttl=args.lease_ttl if args.lease_ttl is not None else DEFAULT_LEASE_TTL,
+        owner=args.owner,
+        workers=getattr(args, "jobs", 1),
+        executor=_executor_spec(args),
+    )
+    report = runner.run_worker()
+    shard = f"{report.shard[0]}/{report.shard[1]}" if report.shard else "none"
+    print(f"worker           : {report.owner}", file=sys.stderr)
+    print(f"shard            : {shard} ({report.shard_units} cells)", file=sys.stderr)
+    print(
+        f"evaluated        : {report.evaluated} "
+        f"({report.stolen} stolen, {report.reclaimed} leases reclaimed)",
+        file=sys.stderr,
+    )
+    if report.skipped_leased:
+        print(f"skipped (leased) : {report.skipped_leased}", file=sys.stderr)
+    print(
+        f"sweep            : {report.total_units - report.remaining}/{report.total_units} "
+        f"cells complete",
+        file=sys.stderr,
+    )
+    if report.is_sweep_complete:
+        print(
+            f"assemble the report with: repro sweep merge {args.spec}"
+            + (f" --cache-dir {args.cache_dir}" if args.cache_dir else ""),
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _sweep_merge(args, spec, cache_dir: str) -> int:
+    """``repro sweep merge``: report from the store, never computing."""
+    from repro.experiments import ResultStore, merge_sweep
+
+    merged = merge_sweep(spec, ResultStore(cache_dir))
+    print(
+        f"sweep {merged.result.name}: {merged.completed_units}/{merged.total_units} "
+        f"cells merged from {cache_dir}",
+        file=sys.stderr,
+    )
+    if not merged.is_complete:
+        for label in merged.missing:
+            print(f"missing          : {label}", file=sys.stderr)
+        if not args.allow_partial:
+            print(
+                f"repro sweep: error: {len(merged.missing)} of {merged.total_units} cells "
+                f"have no stored result; finish the workers or pass --allow-partial",
+                file=sys.stderr,
+            )
+            return 1
+    return _emit_report(merged.result.render(args.format), args.output)
+
+
 @_exit_quietly_on_broken_pipe
 def sweep_main(argv: Optional[List[str]] = None) -> int:
-    """Entry point of the ``repro sweep`` subcommand (run/status/report)."""
+    """Entry point of the ``repro sweep`` subcommand (run/status/report/merge)."""
     parser = _build_sweep_parser()
     args = parser.parse_args(argv)
     if args.action is None:
         parser.print_usage(sys.stderr)
-        print("repro sweep: error: an action is required (run, status or report)", file=sys.stderr)
+        print(
+            "repro sweep: error: an action is required (run, status, report or merge)",
+            file=sys.stderr,
+        )
         return 2
     from repro.experiments import SweepRunner, load_sweep_spec
 
@@ -644,9 +769,21 @@ def sweep_main(argv: Optional[List[str]] = None) -> int:
         print(f"repro sweep: error: {error}", file=sys.stderr)
         return 1
     cache_dir = args.cache_dir if args.cache_dir is not None else _default_sweep_cache_dir(args.spec)
+    distributed = args.action == "run" and (args.shard is not None or args.steal)
     if args.action == "run" and getattr(args, "no_cache", False):
+        if distributed:
+            print(
+                "repro sweep: error: --no-cache is incompatible with --shard/--steal "
+                "(the result cache is what distributed workers coordinate through)",
+                file=sys.stderr,
+            )
+            return 2
         cache_dir = None
     try:
+        if distributed:
+            return _sweep_run_distributed(args, spec, cache_dir)
+        if args.action == "merge":
+            return _sweep_merge(args, spec, cache_dir)
         runner = SweepRunner(
             spec,
             cache_dir=cache_dir,
@@ -658,6 +795,16 @@ def sweep_main(argv: Optional[List[str]] = None) -> int:
             print(f"sweep            : {status.name}")
             print(f"cache directory  : {cache_dir}")
             print(f"cells            : {status.completed_units}/{status.total_units} cached")
+            if args.shards is not None:
+                from repro.experiments import ResultStore, lease_census, shard_progress
+
+                for shard in shard_progress(spec, ResultStore(cache_dir), args.shards):
+                    print(
+                        f"shard {shard.index}/{shard.count}      : "
+                        f"{shard.completed_units}/{shard.total_units} cached"
+                    )
+                census = lease_census(cache_dir)
+                print(f"leases           : {census.active} active, {census.stale} stale")
             for label in status.pending:
                 print(f"pending          : {label}")
             return 0

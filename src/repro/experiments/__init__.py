@@ -12,6 +12,9 @@ object instead of a pile of scripts:
   hash, which is what makes re-runs and resumed sweeps near-instant;
 * :mod:`repro.experiments.runner` — parallel execution
   (:class:`SweepRunner`), one filtered trace per (workload, filter) group;
+* :mod:`repro.experiments.distributed` — cooperative multi-process sweeps:
+  deterministic sharding, lease/steal scheduling over the shared store, and
+  merging of (possibly partial) stores into a :class:`SweepResult`;
 * :mod:`repro.experiments.results` — typed rows and text/Markdown/CSV/JSON
   exports;
 * :mod:`repro.experiments.codecs` — the per-cell measurement shared with
@@ -42,6 +45,18 @@ Example:
 """
 
 from repro.experiments.codecs import evaluate_codec, resolve_lossy_config
+from repro.experiments.distributed import (
+    DEFAULT_LEASE_TTL,
+    DistributedSweepRunner,
+    LeaseManager,
+    MergeReport,
+    ShardProgress,
+    WorkerReport,
+    lease_census,
+    merge_sweep,
+    parse_shard,
+    shard_progress,
+)
 from repro.experiments.plan import (
     ExperimentPlan,
     ExperimentUnit,
@@ -84,6 +99,17 @@ __all__ = [
     "SweepStatus",
     "run_sweep",
     "ResultStore",
+    # distributed
+    "DEFAULT_LEASE_TTL",
+    "DistributedSweepRunner",
+    "LeaseManager",
+    "WorkerReport",
+    "MergeReport",
+    "ShardProgress",
+    "parse_shard",
+    "merge_sweep",
+    "shard_progress",
+    "lease_census",
     # results
     "SweepResult",
     "UnitResult",

@@ -151,6 +151,35 @@ class ExperimentPlan:
             grouped.setdefault((unit.workload, unit.filter), []).append(unit)
         return [(key, tuple(units)) for key, units in grouped.items()]
 
+    def shard_units(
+        self, shard_index: int, shard_count: int, code_version: str
+    ) -> Tuple[ExperimentUnit, ...]:
+        """The units shard ``shard_index`` of ``shard_count`` owns, grid order.
+
+        Assignment is deterministic content-addressed sharding: a unit
+        belongs to the (1-based) shard ``i`` of ``N`` iff
+        ``int(unit_hash, 16) % N == i - 1``.  Every worker that expands
+        the same spec under the same code version computes the same
+        partition with no coordination, and the shards are disjoint and
+        exhaustive by construction.  A shard may legitimately be empty
+        (small grid, large ``N``).
+        """
+        if shard_count < 1:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(f"shard count must be >= 1, got {shard_count}")
+        if not 1 <= shard_index <= shard_count:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"shard index must be in 1..{shard_count}, got {shard_index}"
+            )
+        return tuple(
+            unit
+            for unit in self.units
+            if int(unit.unit_hash(code_version), 16) % shard_count == shard_index - 1
+        )
+
 
 def expand_sweep(spec: SweepSpec) -> ExperimentPlan:
     """Expand a sweep spec into its plan (workload-major grid order)."""

@@ -118,6 +118,42 @@ class SweepResult:
         """Number of cells served from the result store."""
         return sum(1 for row in self.rows if row.cached)
 
+    def normalized(self) -> "SweepResult":
+        """The scheduling-invariant canonical form of the result.
+
+        ``seconds`` (wall-clock) and ``cached`` (which store served the
+        row) are the only fields that depend on *how* a sweep ran rather
+        than *what* it computed; zeroing them makes two runs of the same
+        grid — serial, sharded, stolen, resumed after a crash — render
+        **byte-identical** canonical JSON.  This is the byte-identity
+        oracle the distributed-sweep fault-injection harness diffs against
+        (see ``docs/distributed-sweeps.md``).
+
+        Example:
+            >>> timed = UnitResult(workload="w", filter="f", codec="c",
+            ...                    addresses=10, payload_bytes=5,
+            ...                    bits_per_address=4.0, seconds=1.25, cached=True)
+            >>> SweepResult("s", (timed,)).normalized().rows[0].seconds
+            0.0
+        """
+        return SweepResult(
+            name=self.name,
+            rows=tuple(
+                UnitResult(
+                    workload=row.workload,
+                    filter=row.filter,
+                    codec=row.codec,
+                    addresses=row.addresses,
+                    payload_bytes=row.payload_bytes,
+                    bits_per_address=row.bits_per_address,
+                    seconds=0.0,
+                    cached=False,
+                    extra=dict(row.extra),
+                )
+                for row in self.rows
+            ),
+        )
+
     # -- exports --------------------------------------------------------------------
     def to_text(self) -> str:
         """Plain-text tables in the repository's Table 1/3 style."""

@@ -50,11 +50,40 @@ from repro.experiments.results import SweepResult, UnitResult
 from repro.experiments.spec import FilterSpec, SweepSpec, WorkloadSpec
 from repro.experiments.store import ResultStore
 
-__all__ = ["SweepRunner", "SweepStatus", "run_sweep"]
+__all__ = ["SweepRunner", "SweepStatus", "run_sweep", "entry_is_complete", "row_from_entry"]
 
 #: Keys a cache entry must carry to be usable; anything less reads as a miss
 #: (same resilience contract as a corrupt entry — the cell is recomputed).
 _REQUIRED_ENTRY_KEYS = ("addresses", "payload_bytes", "bits_per_address", "seconds")
+
+
+def entry_is_complete(entry) -> bool:
+    """Whether a store entry carries every required metric.
+
+    The single completeness predicate shared by the runner's cache lookup
+    and the distributed merge step, so "done iff the result exists (and is
+    whole)" means the same thing everywhere.
+    """
+    return entry is not None and all(key in entry for key in _REQUIRED_ENTRY_KEYS)
+
+
+def row_from_entry(unit: ExperimentUnit, entry: Dict, cached: bool) -> UnitResult:
+    """Build one result row from a unit and its (computed or stored) entry.
+
+    ``seconds`` is reported only for freshly computed cells — a cached
+    cell's historical wall time is not this run's cost.
+    """
+    return UnitResult(
+        workload=unit.workload.name,
+        filter=unit.filter.name,
+        codec=unit.codec.name,
+        addresses=int(entry["addresses"]),
+        payload_bytes=int(entry["payload_bytes"]),
+        bits_per_address=float(entry["bits_per_address"]),
+        seconds=0.0 if cached else float(entry["seconds"]),
+        cached=cached,
+        extra=dict(entry.get("extra") or {}),
+    )
 
 
 @dataclass(frozen=True)
@@ -192,7 +221,7 @@ class SweepRunner:
         missing: List[ExperimentUnit] = []
         for unit in units:
             entry = self.store.get(unit.unit_hash(self.code_version)) if self.store else None
-            if entry is not None and all(key in entry for key in _REQUIRED_ENTRY_KEYS):
+            if entry_is_complete(entry):
                 cached[unit.label] = entry
             else:
                 missing.append(unit)
@@ -205,19 +234,7 @@ class SweepRunner:
                 entry, was_cached = self._evaluate_unit(unit, addresses), False
                 if self.store is not None:
                     self.store.put(unit.unit_hash(self.code_version), entry)
-            rows.append(
-                UnitResult(
-                    workload=unit.workload.name,
-                    filter=unit.filter.name,
-                    codec=unit.codec.name,
-                    addresses=int(entry["addresses"]),
-                    payload_bytes=int(entry["payload_bytes"]),
-                    bits_per_address=float(entry["bits_per_address"]),
-                    seconds=0.0 if was_cached else float(entry["seconds"]),
-                    cached=was_cached,
-                    extra=dict(entry.get("extra") or {}),
-                )
-            )
+            rows.append(row_from_entry(unit, entry, was_cached))
         return rows
 
     # -- public API -------------------------------------------------------------------

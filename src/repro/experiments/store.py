@@ -27,8 +27,12 @@ Example:
 
 from __future__ import annotations
 
+import itertools
 import json
+import os
 import re
+import threading
+import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
@@ -37,6 +41,13 @@ from repro.errors import ConfigurationError
 __all__ = ["ResultStore"]
 
 _HASH_RE = re.compile(r"^[0-9a-f]{64}$")
+
+#: Temp files older than this are considered crash debris by
+#: :meth:`ResultStore.prune_tmp` (a live writer holds its temp file for
+#: milliseconds, so an hour is conservative by orders of magnitude).
+DEFAULT_TMP_MAX_AGE = 3600.0
+
+_tmp_counter = itertools.count()
 
 
 class ResultStore:
@@ -72,10 +83,19 @@ class ResultStore:
         return data if isinstance(data, dict) else None
 
     def put(self, unit_hash: str, result: Dict) -> None:
-        """Store one result; the write is atomic (rename of a temp file)."""
+        """Store one result; the write is atomic (rename of a temp file).
+
+        The temp name is unique per process, thread and call: concurrent
+        writers of the *same* hash (two workers finishing one stolen unit
+        at the same moment) each rename their own complete temp file onto
+        the destination, so the store always holds one valid entry — the
+        last rename wins — and no writer can trip over another's temp file.
+        """
         path = self._path(unit_hash)
         self.directory.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".json.tmp")
+        tmp = self.directory / (
+            f"{unit_hash}.{os.getpid()}.{threading.get_ident()}.{next(_tmp_counter)}.tmp"
+        )
         tmp.write_text(json.dumps(result, sort_keys=True, indent=1), encoding="utf-8")
         tmp.replace(path)
 
@@ -100,4 +120,29 @@ class ResultStore:
         for key in self.keys():
             self._path(key).unlink()
             removed += 1
+        return removed
+
+    def tmp_files(self) -> List[Path]:
+        """Leftover ``*.tmp`` files (crash debris from interrupted writes)."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("*.tmp"))
+
+    def prune_tmp(self, max_age_seconds: float = DEFAULT_TMP_MAX_AGE) -> int:
+        """Remove temp files older than ``max_age_seconds``; returns the count.
+
+        A crashed writer leaves its (uniquely named) temp file behind; a
+        *live* writer holds one only for the instant between write and
+        rename.  The age guard keeps pruning safe to run concurrently with
+        active workers — pass ``0`` only when no worker can be writing.
+        """
+        removed = 0
+        now = time.time()
+        for tmp in self.tmp_files():
+            try:
+                if now - tmp.stat().st_mtime >= max_age_seconds:
+                    tmp.unlink()
+                    removed += 1
+            except OSError:
+                continue  # already gone, or racing a writer: both fine
         return removed

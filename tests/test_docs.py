@@ -91,7 +91,7 @@ class TestDocsStructure:
     def test_docs_directory_has_the_promised_pages(self):
         for page in ("index.md", "architecture.md", "paper-map.md", "atc-format.md",
                      "trace-formats.md", "workloads.md",
-                     "experiments.md", "performance.md", "cli.md"):
+                     "experiments.md", "distributed-sweeps.md", "performance.md", "cli.md"):
             assert (_DOCS / page).is_file(), f"docs/{page} missing"
 
     def test_mkdocs_nav_targets_exist(self):
