@@ -1,0 +1,245 @@
+"""Stdlib load client for the ATC service — the driver of the CI smoke lane.
+
+Drives a running ``repro serve`` instance through the same scenario the
+service's acceptance criteria describe, using nothing but the standard
+library (no ``repro`` import, no numpy), so CI can run it against a server
+in a separate process and independently cross-check the results with the
+``repro`` CLI:
+
+1. Generate a deterministic raw trace (an LCG over a bounded address set,
+   reproducible from ``--seed``).
+2. POST it to ``/v1/compress`` ``--requests`` times from ``--concurrency``
+   worker threads; every response must be 200 and byte-identical.
+3. POST it once more sequentially; this *must* be answered from the dedup
+   cache (``X-Atc-Cache: hit``) — the concurrent phase may legitimately
+   race all-misses, the sequential repeat cannot.
+4. Round trip the served container through ``/v1/decompress`` and require
+   the decoded bytes to equal the generated trace exactly.
+5. Fetch ``/v1/metrics`` and assert the request count and cache hits line
+   up with what was driven.
+6. Optionally (``--saturate``) hold that many connections open mid-request
+   with raw sockets and require the next connection to be refused with
+   ``429`` and a ``Retry-After`` header.
+
+``--save-input``/``--save-container``/``--save-output`` write the trace,
+the served container archive and the decoded trace to disk so the CI lane
+can diff the container against an offline ``repro compress`` run.
+
+Usage::
+
+    python benchmarks/load_client.py --base http://127.0.0.1:8742 \\
+        --requests 16 --concurrency 8 --addresses 50000 --saturate 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import socket
+import struct
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from urllib.parse import urlsplit
+
+#: Address-space size of the generated workload; small enough that the
+#: lossless codec gets real compression out of the bytesort transform.
+ADDRESS_SPACE = 4096
+
+
+def generate_trace(addresses: int, seed: int) -> bytes:
+    """A deterministic raw trace: packed little-endian uint64 addresses."""
+    state = (seed * 2654435761 + 1) & 0xFFFFFFFFFFFFFFFF
+    values = []
+    for _ in range(addresses):
+        state = (state * 6364136223846793005 + 1442695040888963407) & 0xFFFFFFFFFFFFFFFF
+        values.append((state >> 33) % ADDRESS_SPACE)
+    return struct.pack(f"<{len(values)}Q", *values)
+
+
+class Client:
+    """Thin wrapper over :mod:`http.client` bound to one base URL."""
+
+    def __init__(self, base: str, timeout: float) -> None:
+        split = urlsplit(base)
+        if split.scheme != "http" or not split.hostname:
+            raise SystemExit(f"--base must be an http://host:port URL, got {base!r}")
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.timeout = timeout
+
+    def request(self, method: str, path: str, body: bytes = None):
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request(method, path, body=body)
+            response = connection.getresponse()
+            return response.status, dict(response.getheaders()), response.read()
+        finally:
+            connection.close()
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SystemExit(f"load_client: FAIL: {message}")
+
+
+def compress_path(args: argparse.Namespace) -> str:
+    return (
+        f"/v1/compress?mode=c&backend={args.backend}"
+        f"&interval_length={args.interval_length}"
+        f"&chunk_buffer_addresses={args.buffer_addresses}"
+    )
+
+
+def run_load(args: argparse.Namespace, client: Client, trace: bytes) -> bytes:
+    """Phases 2-4: concurrent compresses, a guaranteed hit, a round trip."""
+    path = compress_path(args)
+
+    def one_compress(_index: int):
+        # Honour the backpressure contract: a 429 is an invitation to retry
+        # after the server's own hint, not a failure.
+        deadline = time.monotonic() + args.timeout
+        rejections = 0
+        while True:
+            status, headers, body = client.request("POST", path, trace)
+            if status != 429:
+                return status, headers, body, rejections
+            check("Retry-After" in headers, "429 response lacks a Retry-After header")
+            check(time.monotonic() < deadline, "still saturated after the client timeout")
+            rejections += 1
+            time.sleep(min(float(headers["Retry-After"]), 0.2))
+
+    with ThreadPoolExecutor(max_workers=args.concurrency) as pool:
+        outcomes = list(pool.map(one_compress, range(args.requests)))
+    containers = set()
+    rejections = 0
+    for status, headers, body, rejected in outcomes:
+        check(status == 200, f"concurrent compress answered {status}")
+        check(headers.get("X-Atc-Cache") in ("hit", "miss"), "missing X-Atc-Cache header")
+        containers.add(body)
+        rejections += rejected
+    check(len(containers) == 1, f"{len(containers)} distinct containers for one input")
+    container = containers.pop()
+    print(
+        f"load_client: {args.requests} concurrent compresses OK "
+        f"({len(container)} byte container, {rejections} polite 429 retries)"
+    )
+
+    status, headers, repeat = client.request("POST", path, trace)
+    check(status == 200, f"sequential repeat answered {status}")
+    check(headers.get("X-Atc-Cache") == "hit", "sequential repeat was not a dedup-cache hit")
+    check(repeat == container, "cache hit served different container bytes")
+    print("load_client: sequential repeat served from the dedup cache")
+
+    status, headers, decoded = client.request("POST", "/v1/decompress", container)
+    check(status == 200, f"decompress answered {status}")
+    check(decoded == trace, "decompressed bytes differ from the generated trace")
+    print(f"load_client: round trip byte-identical ({len(decoded)} bytes)")
+
+    if args.save_output:
+        with open(args.save_output, "wb") as sink:
+            sink.write(decoded)
+    return container
+
+
+def verify_metrics(args: argparse.Namespace, client: Client) -> None:
+    """Phase 5: the server's own counters must match what we drove."""
+    status, _, body = client.request("GET", "/v1/metrics")
+    check(status == 200, f"metrics endpoint answered {status}")
+    snapshot = json.loads(body)
+    check(
+        snapshot.get("schema") == "repro-service-metrics/1",
+        f"unexpected metrics schema: {snapshot.get('schema')!r}",
+    )
+    requests = snapshot["requests"]
+    # compresses + repeat + decompress (+ this metrics request, already counted).
+    expected = args.requests + 3
+    check(
+        requests["total"] >= expected,
+        f"metrics report {requests['total']} requests, expected >= {expected}",
+    )
+    cache = snapshot["cache"]
+    check(cache["hits"] >= 1, "metrics report zero dedup-cache hits")
+    check(cache["hit_rate"] > 0, "metrics report a zero cache hit rate")
+    check(requests["in_flight"] >= 0 and snapshot["queue_depth"] >= 0, "negative gauge in metrics")
+    by_status = requests["by_status"]
+    check("200" in by_status, "no 200 responses recorded in metrics")
+    print(
+        f"load_client: metrics OK ({requests['total']} requests, "
+        f"{cache['hits']} cache hits, p95 {snapshot['latency_seconds']['p95']:.3f}s)"
+    )
+
+
+def run_saturation(args: argparse.Namespace, client: Client) -> None:
+    """Phase 6: hold connections mid-request; the next one must get 429."""
+    holders = []
+    head = (
+        "POST /v1/compress HTTP/1.1\r\n"
+        f"Host: {client.host}\r\n"
+        "Content-Length: 1048576\r\n\r\n"
+    ).encode("ascii")
+    try:
+        for _ in range(args.saturate):
+            sock = socket.create_connection((client.host, client.port), timeout=10)
+            sock.sendall(head)  # never send the body: the slot stays occupied
+            holders.append(sock)
+        time.sleep(0.2)  # let the server accept and park every holder
+        status, headers, _ = client.request("POST", compress_path(args), b"\x00" * 8)
+        check(status == 429, f"saturated server answered {status}, expected 429")
+        check("Retry-After" in headers, "429 response lacks a Retry-After header")
+        print(f"load_client: saturation OK (429, Retry-After: {headers['Retry-After']})")
+    finally:
+        for sock in holders:
+            try:
+                sock.close()
+            except OSError:
+                pass
+    # Slots must come back once the held connections are torn down.
+    deadline = time.monotonic() + 10
+    while time.monotonic() < deadline:
+        status, _, _ = client.request("GET", "/v1/healthz")
+        if status == 200:
+            print("load_client: slots released after the held connections closed")
+            return
+        time.sleep(0.1)
+    raise SystemExit("load_client: FAIL: server still saturated after holders closed")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--base", required=True, help="server base URL, e.g. http://127.0.0.1:8742")
+    parser.add_argument("--requests", type=int, default=16, help="concurrent compress requests")
+    parser.add_argument("--concurrency", type=int, default=8, help="client thread count")
+    parser.add_argument("--addresses", type=int, default=50_000, help="generated trace length")
+    parser.add_argument("--seed", type=int, default=0, help="trace generator seed")
+    parser.add_argument("--backend", default="bz2", help="codec back-end query parameter")
+    parser.add_argument("--interval-length", type=int, default=20_000)
+    parser.add_argument("--buffer-addresses", type=int, default=1_000_000)
+    parser.add_argument("--timeout", type=float, default=120.0, help="per-request client timeout")
+    parser.add_argument("--saturate", type=int, default=0, metavar="N",
+                        help="also hold N connections open and expect a 429 on the next one")
+    parser.add_argument("--save-input", default=None, help="write the generated trace here")
+    parser.add_argument("--save-container", default=None, help="write the served container archive here")
+    parser.add_argument("--save-output", default=None, help="write the decoded trace here")
+    args = parser.parse_args(argv)
+
+    client = Client(args.base, args.timeout)
+    trace = generate_trace(args.addresses, args.seed)
+    if args.save_input:
+        with open(args.save_input, "wb") as sink:
+            sink.write(trace)
+
+    container = run_load(args, client, trace)
+    if args.save_container:
+        with open(args.save_container, "wb") as sink:
+            sink.write(container)
+    verify_metrics(args, client)
+    if args.saturate:
+        run_saturation(args, client)
+    print("load_client: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -327,6 +327,68 @@ def _bench_sweep_sched(ctx: _SuiteContext):
     return int(addresses), int(payload_bytes), float(bits)
 
 
+def _bench_serve_roundtrip(ctx: _SuiteContext):
+    """Service case: compress + cached re-compress + decompress over HTTP.
+
+    Boots a :class:`~repro.service.BackgroundServer` on an ephemeral port,
+    POSTs the suite's filtered trace to ``/v1/compress`` twice (the second
+    must be a dedup-cache hit, verified through ``/v1/metrics``), round
+    trips the served container through ``/v1/decompress`` and requires the
+    decoded bytes to equal the input exactly.  The reported payload is the
+    packed-container size, so the case gates HTTP/service overhead on wall
+    time while its ``bits_per_address`` pins the wire format — tar framing
+    drift is a fidelity failure, not just a slowdown.
+    """
+    import http.client
+    import json as _json
+
+    from repro.service import BackgroundServer, ServiceConfig
+
+    trace = ctx.require_trace()
+    raw = trace.tobytes()
+    config = ServiceConfig(
+        port=0,
+        max_connections=4,
+        workers=ctx.workers,
+        executor=ctx.executor,
+        request_timeout=600.0,
+        cache_dir=None,  # fresh private cache: every repetition sees miss -> hit
+    )
+
+    def request(server, method, path, body=None):
+        connection = http.client.HTTPConnection("127.0.0.1", server.port, timeout=120)
+        try:
+            connection.request(method, path, body=body)
+            response = connection.getresponse()
+            return response.status, dict(response.getheaders()), response.read()
+        finally:
+            connection.close()
+
+    query = (
+        f"/v1/compress?mode=c&backend={ctx.scale.backend}"
+        f"&chunk_buffer_addresses={ctx.scale.buffer_addresses}"
+    )
+    with BackgroundServer(config) as server:
+        status, headers, container = request(server, "POST", query, raw)
+        if status != 200 or headers.get("X-Atc-Cache") != "miss":
+            raise BenchmarkError(f"serve_roundtrip: first compress got {status} "
+                                 f"(cache={headers.get('X-Atc-Cache')!r})")
+        status, headers, cached = request(server, "POST", query, raw)
+        if status != 200 or headers.get("X-Atc-Cache") != "hit" or cached != container:
+            raise BenchmarkError("serve_roundtrip: repeated request missed the dedup cache")
+        status, _, decoded = request(server, "POST", "/v1/decompress", container)
+        if status != 200 or decoded != raw:
+            raise BenchmarkError("serve_roundtrip: decompressed bytes differ from the input trace")
+        _, _, metrics_body = request(server, "GET", "/v1/metrics")
+        hit_rate = _json.loads(metrics_body)["cache"]["hit_rate"]
+        if not hit_rate > 0:
+            raise BenchmarkError("serve_roundtrip: metrics cache hit rate is 0 "
+                                 "on the repeated-request phase")
+    if server.exit_code != 0:
+        raise BenchmarkError(f"serve_roundtrip: server drain exited {server.exit_code}")
+    return int(trace.size), int(len(container)), float(8.0 * len(container) / trace.size)
+
+
 #: The suite, in execution order (later cases consume earlier artefacts).
 SUITE_BENCHES: Tuple[Tuple[str, Callable[[_SuiteContext], Tuple[int, Optional[int], Optional[float]]]], ...] = (
     ("filter", _bench_filter),
@@ -339,6 +401,7 @@ SUITE_BENCHES: Tuple[Tuple[str, Callable[[_SuiteContext], Tuple[int, Optional[in
     ("export_k6", _bench_export_k6),
     ("convert_k6", _bench_convert_k6),
     ("sweep_sched", _bench_sweep_sched),
+    ("serve_roundtrip", _bench_serve_roundtrip),
 )
 
 #: Stable case names, in execution order.

@@ -947,6 +947,91 @@ def bench_main(argv: Optional[List[str]] = None) -> int:
         return 1
 
 
+def _build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Run the ATC compression service: an HTTP server exposing "
+            "/v1/compress, /v1/decompress, /v1/inspect, /v1/sweep, /v1/healthz "
+            "and /v1/metrics with bounded memory, connection backpressure and "
+            "graceful SIGTERM drain."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default: loopback only)")
+    parser.add_argument(
+        "--port", type=int, default=8742, help="TCP port; 0 picks an ephemeral port (default: 8742)"
+    )
+    parser.add_argument(
+        "--max-connections",
+        type=int,
+        default=8,
+        metavar="N",
+        help="connection-gate capacity; excess connections get 429 + Retry-After (default: 8)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker count for the shared codec executor (default: 1)",
+    )
+    _add_executor_argument(parser)
+    parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="per-request processing budget; exceeding it answers 504 (default: 300)",
+    )
+    parser.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=1 << 30,
+        metavar="BYTES",
+        help="cap on any request body; larger uploads answer 413 (default: 1 GiB)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="dedup-cache directory shared across restarts; default: a private "
+        "temporary directory removed at shutdown",
+    )
+    return parser
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro serve`` subcommand."""
+    args = _build_serve_parser().parse_args(argv)
+    from repro.service import AtcService, ServiceConfig
+
+    try:
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            max_connections=args.max_connections,
+            workers=args.workers,
+            executor=_executor_spec(args),
+            request_timeout=args.request_timeout if args.request_timeout > 0 else None,
+            max_body_bytes=args.max_body_bytes,
+            cache_dir=args.cache_dir,
+        )
+        service = AtcService(config)
+    except ReproError as error:
+        print(f"repro serve: error: {error}", file=sys.stderr)
+        return 1
+
+    def announce() -> None:
+        print(f"repro serve: listening on http://{config.host}:{service.port}", file=sys.stderr)
+        sys.stderr.flush()
+
+    try:
+        return service.run(ready=announce)
+    except ReproError as error:
+        print(f"repro serve: error: {error}", file=sys.stderr)
+        return 1
+
+
 #: ``repro`` subcommands: name -> (entry point, one-line help).  The usage
 #: text below is generated from this registry, so adding a subcommand here
 #: is all it takes for it to appear in ``repro --help``.
@@ -958,6 +1043,7 @@ _SUBCOMMANDS = {
     "zoo": (zoo_main, "list the registered workload zoo (mixes, GAP-like, STREAM-like)"),
     "sweep": (sweep_main, "run declarative experiment sweeps (run, status, report)"),
     "bench": (bench_main, "run the benchmark suite; emit/compare BENCH JSON reports"),
+    "serve": (serve_main, "run the ATC compression service (HTTP, backpressure, metrics)"),
 }
 
 

@@ -25,7 +25,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable
 
-from repro.errors import ConfigurationError
+from repro.errors import CodecError, ConfigurationError
 
 __all__ = [
     "CompressionBackend",
@@ -153,11 +153,31 @@ def get_backend(name_or_backend) -> CompressionBackend:
         ) from None
 
 
+def _checked_decompress(name: str, decompress: Callable[[bytes], bytes]) -> Callable[[bytes], bytes]:
+    """Translate a stdlib decompressor's raw errors into :class:`CodecError`.
+
+    The stdlib codecs raise an inconsistent zoo on corrupt or truncated
+    input (``OSError`` from bz2, ``zlib.error``, ``lzma.LZMAError``,
+    ``EOFError``); callers up to and including the HTTP service rely on
+    every deliberate library failure being a :class:`~repro.errors.ReproError`,
+    so bad compressed bytes must surface as a codec error, not as what
+    looks like a programming bug or an I/O failure.
+    """
+
+    def checked(data: bytes) -> bytes:
+        try:
+            return decompress(data)
+        except (OSError, EOFError, ValueError, zlib.error, lzma.LZMAError) as error:
+            raise CodecError(f"corrupt or truncated {name} data: {error}") from None
+
+    return checked
+
+
 register_backend(
     CompressionBackend(
         name="bz2",
         compress=lambda data: bz2.compress(data, compresslevel=9),
-        decompress=bz2.decompress,
+        decompress=_checked_decompress("bz2", bz2.decompress),
     )
 )
 # "gz" accepts the paper's gzip-style name; "xz" the modern lzma name.
@@ -165,7 +185,7 @@ register_backend(
     CompressionBackend(
         name="zlib",
         compress=lambda data: zlib.compress(data, 9),
-        decompress=zlib.decompress,
+        decompress=_checked_decompress("zlib", zlib.decompress),
     ),
     aliases=("gz",),
 )
@@ -173,7 +193,7 @@ register_backend(
     CompressionBackend(
         name="lzma",
         compress=lambda data: lzma.compress(data, preset=6),
-        decompress=lzma.decompress,
+        decompress=_checked_decompress("lzma", lzma.decompress),
     ),
     aliases=("xz",),
 )

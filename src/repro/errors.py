@@ -45,3 +45,12 @@ class ParallelExecutionError(ReproError):
     the raw pool-internal errors, after the pool has been shut down and its
     children reaped, so callers see one clear failure instead of a cascade.
     """
+
+
+class ServiceError(ReproError):
+    """The HTTP service (:mod:`repro.service`) was misconfigured or misused.
+
+    Covers server-side configuration problems (invalid limits, an unusable
+    cache directory) and service-internal protocol violations.  Client-side
+    problems — malformed requests, bad container uploads — are mapped to
+    4xx responses by the request dispatcher instead of raising."""

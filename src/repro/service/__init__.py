@@ -1,0 +1,43 @@
+"""ATC-as-a-service: the HTTP deployment mode of the reproduction.
+
+The package splits along responsibility lines so each piece is unit
+testable without a socket:
+
+* :mod:`repro.service.http` — bounded HTTP/1.1 framing (heads, chunked
+  bodies, streaming responses), nothing ATC-specific.
+* :mod:`repro.service.limits` — the connection gate, cooperative
+  cancellation tokens and the drain controller.
+* :mod:`repro.service.metrics` — thread-safe counters behind
+  ``GET /v1/metrics``.
+* :mod:`repro.service.cache` — the deterministic container wire format
+  and the content-addressed dedup cache.
+* :mod:`repro.service.app` — routing, the endpoint handlers and the
+  server lifecycle (:class:`AtcService`, :class:`BackgroundServer`).
+
+Start a server from the CLI with ``repro serve``; from code::
+
+    from repro.service import BackgroundServer, ServiceConfig
+
+    with BackgroundServer(ServiceConfig(port=0)) as server:
+        ...  # POST raw traces to f"{server.address}/v1/compress"
+"""
+
+from repro.service.app import AtcService, BackgroundServer, ServiceConfig
+from repro.service.cache import ContainerCache, pack_container, unpack_container
+from repro.service.limits import CancelToken, ConnectionGate, DrainController, JobCancelled
+from repro.service.metrics import METRICS_SCHEMA, ServiceMetrics
+
+__all__ = [
+    "AtcService",
+    "BackgroundServer",
+    "ServiceConfig",
+    "ContainerCache",
+    "pack_container",
+    "unpack_container",
+    "CancelToken",
+    "ConnectionGate",
+    "DrainController",
+    "JobCancelled",
+    "METRICS_SCHEMA",
+    "ServiceMetrics",
+]

@@ -1,0 +1,268 @@
+"""Container wire format and the shared dedup cache of the ATC service.
+
+**Wire format.**  An ATC container is a directory; over HTTP it travels as
+an uncompressed, deterministic POSIX tar archive: members are the
+container's regular files only, sorted by name, with zeroed mtimes,
+``uid=gid=0``, empty owner names and mode ``0644``.  Packing the same
+container therefore always produces the same bytes — which is what lets
+the CI load lane diff a served archive against a ``repro compress``
+container file-for-file, and what makes the ``serve_roundtrip`` benchmark's
+payload size an exact drift detector.  The archive is *not* compressed a
+second time: the members are already bz2/zlib/lzma payloads.
+
+**Dedup cache.**  ``POST /v1/compress`` is content-addressed: the cache key
+is the SHA-256 of the raw request body digest plus every result-affecting
+codec parameter and the package version.  The existing
+:class:`~repro.experiments.store.ResultStore` is reused as the index (one
+small JSON entry per key) with the encoded container directories stored
+alongside; identical (trace, config) requests return the stored container
+without re-encoding.  Commits are atomic — encode into a uniquely named
+workspace, rename into place — so concurrent identical requests race
+safely: one rename wins, the others discard their workspace.
+
+Example:
+    >>> import tempfile
+    >>> cache = ContainerCache(tempfile.mkdtemp())
+    >>> key = cache.key("00" * 32, "c", {"backend": "bz2"})
+    >>> len(key), cache.lookup(key) is None
+    (64, True)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import shutil
+import tarfile
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.errors import ContainerError
+from repro.experiments.store import ResultStore
+
+__all__ = [
+    "CONTAINER_MEDIA_TYPE",
+    "pack_container",
+    "unpack_container",
+    "CachedContainer",
+    "ContainerCache",
+]
+
+#: Media type of packed containers on the wire.
+CONTAINER_MEDIA_TYPE = "application/x-tar"
+
+#: Tar members larger than this are rejected on unpack (a decompression-bomb
+#: guard: real chunk files are at most a few MB of already-compressed data).
+MAX_MEMBER_BYTES = 1 << 31
+
+_unique = threading.Lock()
+_counter = 0
+
+
+def _next_unique() -> int:
+    global _counter
+    with _unique:
+        _counter += 1
+        return _counter
+
+
+def pack_container(directory) -> bytes:
+    """Serialize a container directory as a deterministic tar archive.
+
+    Members are the directory's regular files, sorted by name, with all
+    non-content metadata zeroed, so the bytes depend only on the files'
+    names and contents.  Nested directories are rejected — containers are
+    flat by construction.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ContainerError(f"not a container directory: {directory}")
+    sink = io.BytesIO()
+    with tarfile.open(fileobj=sink, mode="w", format=tarfile.USTAR_FORMAT) as archive:
+        for path in sorted(directory.iterdir()):
+            if not path.is_file():
+                raise ContainerError(f"container holds a non-file entry: {path.name}")
+            info = tarfile.TarInfo(name=path.name)
+            info.size = path.stat().st_size
+            info.mtime = 0
+            info.uid = info.gid = 0
+            info.uname = info.gname = ""
+            info.mode = 0o644
+            with path.open("rb") as handle:
+                archive.addfile(info, handle)
+    return sink.getvalue()
+
+
+def unpack_container(source, destination) -> int:
+    """Extract a packed container archive into a fresh directory.
+
+    Args:
+        source: Archive bytes, or a path to an archive file.
+        destination: Directory to create (must not already exist).
+
+    Returns:
+        Number of files extracted.
+
+    Raises:
+        ContainerError: If the archive is not a tar stream, is empty, or
+            holds anything but plain relative filenames (path traversal,
+            links, directories and oversized members are all refused).
+    """
+    destination = Path(destination)
+    if destination.exists():
+        raise ContainerError(f"unpack destination already exists: {destination}")
+    if isinstance(source, (bytes, bytearray)):
+        handle = io.BytesIO(bytes(source))
+    else:
+        handle = open(os.fspath(source), "rb")
+    extracted = 0
+    try:
+        try:
+            archive = tarfile.open(fileobj=handle, mode="r:")
+        except tarfile.TarError as error:
+            raise ContainerError(f"request body is not a container archive: {error}") from None
+        destination.mkdir(parents=True)
+        with archive:
+            try:
+                members = archive.getmembers()
+            except tarfile.TarError as error:
+                raise ContainerError(f"malformed container archive: {error}") from None
+            for member in members:
+                name = member.name
+                if (
+                    not member.isfile()
+                    or name != os.path.basename(name)
+                    or name in ("", ".", "..")
+                    or name.startswith(".")
+                ):
+                    raise ContainerError(f"unsafe container archive member: {name!r}")
+                if member.size > MAX_MEMBER_BYTES:
+                    raise ContainerError(f"container archive member too large: {name!r}")
+                reader = archive.extractfile(member)
+                if reader is None:
+                    raise ContainerError(f"unreadable container archive member: {name!r}")
+                with reader, (destination / name).open("wb") as out:
+                    shutil.copyfileobj(reader, out)
+                extracted += 1
+        if not extracted:
+            raise ContainerError("container archive holds no files")
+    except ContainerError:
+        shutil.rmtree(destination, ignore_errors=True)
+        raise
+    finally:
+        if not isinstance(source, (bytes, bytearray)):
+            handle.close()
+    return extracted
+
+
+@dataclass(frozen=True)
+class CachedContainer:
+    """One dedup-cache entry: where the container lives, and its summary."""
+
+    key: str
+    path: Path
+    addresses: int
+    payload_bytes: int
+
+
+class ContainerCache:
+    """Content-addressed store of encoded containers shared by all requests.
+
+    Layout under ``directory``: ``index/<key>.json`` entries (a
+    :class:`~repro.experiments.store.ResultStore`) describing each cached
+    result, and ``containers/<key>/`` holding the container itself.
+
+    Args:
+        directory: Cache root; created on first use.
+    """
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+        self.store = ResultStore(self.directory / "index")
+        self._containers = self.directory / "containers"
+
+    def key(self, body_digest: str, mode: str, params: Dict) -> str:
+        """Derive the cache key for (trace digest, codec configuration).
+
+        The package version is folded in exactly like the sweep cache does,
+        so a codec change can never serve stale containers.
+        """
+        import repro
+
+        material = json.dumps(
+            {
+                "body_sha256": body_digest,
+                "mode": mode,
+                "params": {name: params[name] for name in sorted(params)},
+                "version": repro.__version__,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def container_path(self, key: str) -> Path:
+        """Where the committed container for ``key`` lives (or would live)."""
+        return self._containers / key
+
+    def lookup(self, key: str) -> Optional[CachedContainer]:
+        """Return the cached entry for ``key``, or ``None`` on a miss.
+
+        An index entry whose container directory vanished (pruned by hand)
+        reads as a miss, mirroring the sweep store's corrupt-entry rule.
+        """
+        entry = self.store.get(key)
+        if entry is None:
+            return None
+        path = self.container_path(key)
+        if not path.is_dir():
+            return None
+        return CachedContainer(
+            key=key,
+            path=path,
+            addresses=int(entry.get("addresses", 0)),
+            payload_bytes=int(entry.get("payload_bytes", 0)),
+        )
+
+    def workspace(self, key: str) -> Path:
+        """A unique scratch directory to encode ``key``'s container into."""
+        self._containers.mkdir(parents=True, exist_ok=True)
+        return self._containers / f"{key}.{os.getpid()}.{_next_unique()}.tmp"
+
+    def commit(self, key: str, workspace: Path, addresses: int) -> CachedContainer:
+        """Atomically publish an encoded workspace as ``key``'s container.
+
+        The rename is the commit point; a loser of a concurrent-identical
+        race keeps the winner's container and discards its own workspace,
+        so every caller observes exactly one immutable container per key.
+        """
+        final = self.container_path(key)
+        try:
+            os.rename(workspace, final)
+        except OSError:
+            # Another writer committed first: their container is identical
+            # by construction (same key, deterministic encoder).
+            shutil.rmtree(workspace, ignore_errors=True)
+        payload_bytes = sum(path.stat().st_size for path in final.iterdir() if path.is_file())
+        self.store.put(
+            key,
+            {"addresses": int(addresses), "payload_bytes": int(payload_bytes), "container": key},
+        )
+        entry = self.lookup(key)
+        if entry is None:
+            raise ContainerError(f"dedup cache commit of {key} did not become visible")
+        return entry
+
+    def discard_workspace(self, workspace: Path) -> None:
+        """Remove an abandoned workspace (cancelled or failed encode)."""
+        shutil.rmtree(workspace, ignore_errors=True)
+
+    def tmp_debris(self):
+        """Leftover workspace directories and index temp files (diagnostics)."""
+        debris = list(self.store.tmp_files())
+        if self._containers.is_dir():
+            debris.extend(sorted(self._containers.glob("*.tmp")))
+        return debris

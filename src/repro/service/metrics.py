@@ -1,0 +1,208 @@
+"""Request-level metrics of the ATC service, snapshotted as one JSON document.
+
+Every observable the CI load lane asserts on lives here: request counts
+(total, per endpoint, per status), in-flight and rejected connections,
+executor queue depth, bytes moved in each direction, a bounded latency
+reservoir reduced to p50/p95, and the dedup-cache hit rate.  The
+``GET /v1/metrics`` endpoint returns exactly :meth:`ServiceMetrics.snapshot`,
+whose schema (``repro-service-metrics/1``) is documented in
+``docs/service.md`` and pinned by ``tests/test_docs.py`` against a real
+server response.
+
+All counters are guarded by one lock because they are updated from the
+asyncio event loop *and* from job worker threads; the snapshot is taken
+under the same lock, so it is always internally consistent.
+
+Example:
+    >>> metrics = ServiceMetrics()
+    >>> metrics.request_started("compress")
+    >>> metrics.request_finished("compress", 200, 0.25)
+    >>> snapshot = metrics.snapshot()
+    >>> snapshot["requests"]["total"], snapshot["requests"]["in_flight"]
+    (1, 0)
+    >>> snapshot["requests"]["by_status"]["200"]
+    1
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, Optional
+
+__all__ = ["METRICS_SCHEMA", "LATENCY_RESERVOIR", "ServiceMetrics", "JobTicket"]
+
+#: Schema tag stamped into every snapshot (and asserted by the docs test).
+METRICS_SCHEMA = "repro-service-metrics/1"
+
+#: Number of recent request latencies kept for the percentile estimates.
+#: Bounded so a long-lived server's metrics stay O(1) in memory; at CI load
+#: (tens of requests) the reservoir simply holds everything.
+LATENCY_RESERVOIR = 1024
+
+
+def _percentile(sorted_values, fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return float(sorted_values[rank])
+
+
+class JobTicket:
+    """Queue-depth accounting for one executor job, race-free by state.
+
+    A job is *queued* when submitted, *running* once a worker thread picks
+    it up, and *abandoned* when its request timed out (or was cancelled)
+    before any worker started it.  The depth gauge counts queued tickets
+    only; the started/abandoned transition is guarded so a worker racing a
+    timeout can never double-decrement the gauge — whichever transition
+    wins, the other becomes a no-op.
+    """
+
+    def __init__(self, metrics: "ServiceMetrics") -> None:
+        self._metrics = metrics
+        self._state = "queued"
+        metrics._queue_changed(+1)
+
+    def start(self) -> bool:
+        """Worker-side transition; False when the job was abandoned first."""
+        with self._metrics._lock:
+            if self._state != "queued":
+                return False
+            self._state = "running"
+            self._metrics._queue_depth -= 1
+            return True
+
+    def abandon(self) -> None:
+        """Caller-side transition after a timeout; no-op once running."""
+        with self._metrics._lock:
+            if self._state == "queued":
+                self._state = "abandoned"
+                self._metrics._queue_depth -= 1
+
+
+class ServiceMetrics:
+    """Thread-safe counters behind ``GET /v1/metrics``."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started_at = time.monotonic()
+        self._total = 0
+        self._in_flight = 0
+        self._rejected = 0
+        self._timeouts = 0
+        self._aborted = 0
+        self._by_endpoint: Dict[str, int] = {}
+        self._by_status: Dict[str, int] = {}
+        self._queue_depth = 0
+        self._bytes_in = 0
+        self._bytes_out = 0
+        self._latencies: Deque[float] = deque(maxlen=LATENCY_RESERVOIR)
+        self._latency_count = 0
+        self._latency_max = 0.0
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    # -- request lifecycle -----------------------------------------------------------------
+    def request_started(self, endpoint: str) -> None:
+        """Count an admitted request against its endpoint; raises in-flight."""
+        with self._lock:
+            self._total += 1
+            self._in_flight += 1
+            self._by_endpoint[endpoint] = self._by_endpoint.get(endpoint, 0) + 1
+
+    def request_finished(self, endpoint: str, status: Optional[int], seconds: float) -> None:
+        """Record the outcome of a request started earlier.
+
+        ``status`` is ``None`` when the client vanished before a response
+        could be written (counted as aborted, no status bucket).
+        """
+        with self._lock:
+            self._in_flight -= 1
+            if status is None:
+                self._aborted += 1
+            else:
+                key = str(int(status))
+                self._by_status[key] = self._by_status.get(key, 0) + 1
+            self._latencies.append(float(seconds))
+            self._latency_count += 1
+            if seconds > self._latency_max:
+                self._latency_max = float(seconds)
+
+    def connection_rejected(self) -> None:
+        """Count a connection turned away with 429 by the gate."""
+        with self._lock:
+            self._rejected += 1
+            self._by_status["429"] = self._by_status.get("429", 0) + 1
+
+    def request_timeout(self) -> None:
+        """Count a request whose processing exceeded the per-request budget."""
+        with self._lock:
+            self._timeouts += 1
+
+    # -- executor queue --------------------------------------------------------------------
+    def job_ticket(self) -> JobTicket:
+        """Open a queue-depth ticket for one submitted executor job."""
+        return JobTicket(self)
+
+    def _queue_changed(self, delta: int) -> None:
+        with self._lock:
+            self._queue_depth += delta
+
+    # -- byte counters ---------------------------------------------------------------------
+    def add_bytes_in(self, count: int) -> None:
+        """Count request-body bytes consumed from clients."""
+        with self._lock:
+            self._bytes_in += int(count)
+
+    def add_bytes_out(self, count: int) -> None:
+        """Count response-body bytes written to clients."""
+        with self._lock:
+            self._bytes_out += int(count)
+
+    # -- dedup cache -----------------------------------------------------------------------
+    def cache_hit(self) -> None:
+        """Count a compress request served from the dedup cache."""
+        with self._lock:
+            self._cache_hits += 1
+
+    def cache_miss(self) -> None:
+        """Count a compress request that had to encode."""
+        with self._lock:
+            self._cache_misses += 1
+
+    # -- snapshot --------------------------------------------------------------------------
+    def snapshot(self) -> Dict:
+        """One consistent JSON-ready view of every counter (the endpoint body)."""
+        with self._lock:
+            latencies = sorted(self._latencies)
+            lookups = self._cache_hits + self._cache_misses
+            return {
+                "schema": METRICS_SCHEMA,
+                "uptime_seconds": time.monotonic() - self._started_at,
+                "requests": {
+                    "total": self._total,
+                    "in_flight": self._in_flight,
+                    "rejected": self._rejected,
+                    "timeouts": self._timeouts,
+                    "aborted": self._aborted,
+                    "by_endpoint": dict(sorted(self._by_endpoint.items())),
+                    "by_status": dict(sorted(self._by_status.items())),
+                },
+                "queue_depth": self._queue_depth,
+                "bytes": {"in": self._bytes_in, "out": self._bytes_out},
+                "latency_seconds": {
+                    "count": self._latency_count,
+                    "p50": _percentile(latencies, 0.50),
+                    "p95": _percentile(latencies, 0.95),
+                    "max": self._latency_max,
+                },
+                "cache": {
+                    "hits": self._cache_hits,
+                    "misses": self._cache_misses,
+                    "lookups": lookups,
+                    "hit_rate": (self._cache_hits / lookups) if lookups else 0.0,
+                },
+            }

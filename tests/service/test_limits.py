@@ -1,0 +1,290 @@
+"""Unit and behavioural tests for the service's robustness layer.
+
+The unit half exercises :mod:`repro.service.limits` and the queue-depth
+accounting of :mod:`repro.service.metrics` without any sockets.  The
+behavioural half boots dedicated servers (each test owns its own
+:class:`~repro.service.BackgroundServer`, because each needs different
+knobs) and drives the gate, timeout and drain paths over real connections.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ServiceError
+from repro.service import (
+    BackgroundServer,
+    CancelToken,
+    ConnectionGate,
+    DrainController,
+    JobCancelled,
+    ServiceConfig,
+    ServiceMetrics,
+)
+
+
+def request(port, method, path, body=None, timeout=30):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        connection.request(method, path, body=body)
+        response = connection.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        connection.close()
+
+
+def metrics(port):
+    return json.loads(request(port, "GET", "/v1/metrics")[2])
+
+
+class TestConnectionGate:
+    def test_slots_are_finite_and_released(self):
+        gate = ConnectionGate(max_connections=2)
+        assert gate.try_acquire() and gate.try_acquire()
+        assert not gate.try_acquire()
+        gate.release()
+        assert gate.active == 1
+        assert gate.try_acquire()
+
+    def test_release_without_acquire_is_a_service_error(self):
+        gate = ConnectionGate(max_connections=1)
+        with pytest.raises(ServiceError, match="without a matching acquire"):
+            gate.release()
+
+    def test_wait_idle_blocks_until_the_last_release(self):
+        gate = ConnectionGate(max_connections=4)
+        gate.try_acquire()
+        assert not gate.wait_idle(timeout=0.05)
+        releaser = threading.Timer(0.05, gate.release)
+        releaser.start()
+        try:
+            assert gate.wait_idle(timeout=5.0)
+        finally:
+            releaser.cancel()
+
+    def test_invalid_limits_are_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConnectionGate(max_connections=0)
+        with pytest.raises(ConfigurationError):
+            ConnectionGate(max_connections=2, retry_after=-1)
+
+
+class TestCancelToken:
+    def test_guard_stops_iteration_at_the_next_boundary(self):
+        token = CancelToken()
+        seen = []
+
+        def feed():
+            for value in range(10):
+                if value == 3:
+                    token.cancel()
+                yield value
+
+        with pytest.raises(JobCancelled):
+            for value in token.guard(feed()):
+                seen.append(value)
+        # the guard checks between pulling and yielding, so the value pulled
+        # while cancelling is dropped at the boundary
+        assert seen == [0, 1, 2]
+
+    def test_tokens_are_idempotent_and_one_way(self):
+        token = CancelToken()
+        assert not token.cancelled
+        token.raise_if_cancelled()  # no-op while live
+        token.cancel()
+        token.cancel()
+        assert token.cancelled
+        with pytest.raises(JobCancelled):
+            token.raise_if_cancelled()
+
+
+class TestQueueDepthTickets:
+    def test_start_then_abandon_decrements_exactly_once(self):
+        counters = ServiceMetrics()
+        ticket = counters.job_ticket()
+        assert counters.snapshot()["queue_depth"] == 1
+        assert ticket.start()
+        ticket.abandon()  # late abandon after a worker won the race: no-op
+        assert counters.snapshot()["queue_depth"] == 0
+
+    def test_abandon_then_start_refuses_the_worker(self):
+        counters = ServiceMetrics()
+        ticket = counters.job_ticket()
+        ticket.abandon()
+        assert counters.snapshot()["queue_depth"] == 0
+        assert not ticket.start()
+        assert counters.snapshot()["queue_depth"] == 0
+
+
+class TestDrainController:
+    def test_begin_is_one_way_and_reports_first_caller(self):
+        drain = DrainController()
+        assert not drain.draining
+        assert drain.begin()
+        assert not drain.begin()
+        assert drain.draining
+
+
+def hold_connection(port, content_length=1_048_576):
+    """Open a connection that occupies a gate slot mid-request."""
+    sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+    sock.sendall(
+        f"POST /v1/compress HTTP/1.1\r\nHost: x\r\nContent-Length: {content_length}\r\n\r\n".encode()
+    )
+    return sock
+
+
+class TestSaturationBehaviour:
+    def test_saturated_gate_answers_429_with_retry_after(self):
+        config = ServiceConfig(port=0, max_connections=2, request_timeout=30.0, retry_after=7)
+        with BackgroundServer(config) as server:
+            holders = [hold_connection(server.port) for _ in range(2)]
+            try:
+                time.sleep(0.2)  # let the server park both holders
+                status, headers, _ = request(server.port, "GET", "/v1/healthz")
+                assert status == 429
+                assert headers["Retry-After"] == "7"
+            finally:
+                for sock in holders:
+                    sock.close()
+        assert server.exit_code == 0
+
+    def test_rejections_are_counted_but_not_served(self):
+        config = ServiceConfig(port=0, max_connections=1, request_timeout=30.0)
+        with BackgroundServer(config) as server:
+            holder = hold_connection(server.port)
+            try:
+                time.sleep(0.2)
+                assert request(server.port, "GET", "/v1/healthz")[0] == 429
+            finally:
+                holder.close()
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                try:
+                    if request(server.port, "GET", "/v1/healthz")[0] == 200:
+                        break
+                except OSError:
+                    pass
+                time.sleep(0.05)
+            snapshot = metrics(server.port)
+            assert snapshot["requests"]["rejected"] >= 1
+            assert snapshot["requests"]["by_status"]["429"] >= 1
+
+    def test_client_disconnect_mid_stream_releases_the_slot(self):
+        config = ServiceConfig(port=0, max_connections=1, request_timeout=30.0)
+        with BackgroundServer(config) as server:
+            holder = hold_connection(server.port)
+            time.sleep(0.2)
+            assert server.service.gate.active == 1
+            holder.close()  # vanish mid-request-body
+            deadline = time.monotonic() + 10
+            while server.service.gate.active and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert server.service.gate.active == 0
+            # The slot is usable again and the aborted request was counted.
+            assert request(server.port, "GET", "/v1/healthz")[0] == 200
+            assert metrics(server.port)["requests"]["aborted"] >= 1
+        assert server.exit_code == 0
+
+
+class TestRequestTimeout:
+    def test_stalled_request_gets_504_and_leaks_nothing(self):
+        config = ServiceConfig(port=0, max_connections=4, request_timeout=0.5)
+        with BackgroundServer(config) as server:
+            sock = socket.create_connection(("127.0.0.1", server.port), timeout=10)
+            try:
+                sock.sendall(
+                    b"POST /v1/compress HTTP/1.1\r\nHost: x\r\nContent-Length: 16\r\n\r\n"
+                )
+                sock.sendall(b"\x00" * 8)  # half the promised body, then stall
+                sock.settimeout(10)
+                answer = sock.recv(4096)
+                assert b"504" in answer.split(b"\r\n", 1)[0]
+            finally:
+                sock.close()
+            # The 504 is written before the request is finalised; wait for
+            # the server to finish its accounting.
+            deadline = time.monotonic() + 10
+            snapshot = metrics(server.port)
+            while snapshot["requests"]["in_flight"] > 1 and time.monotonic() < deadline:
+                time.sleep(0.02)
+                snapshot = metrics(server.port)
+            assert snapshot["requests"]["timeouts"] == 1
+            assert snapshot["requests"]["by_status"]["504"] == 1
+            # Nothing orphaned: no queued job, and the only in-flight request
+            # is the /v1/metrics call taking this very snapshot.
+            assert snapshot["queue_depth"] == 0
+            assert snapshot["requests"]["in_flight"] == 1
+            while server.service.gate.active and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert server.service.gate.active == 0
+        assert server.exit_code == 0
+
+    def test_cancelled_executor_job_stops_at_a_chunk_boundary(self):
+        # Drive the job layer directly: a cancelled token must abort the
+        # encoder's chunk stream instead of letting the job run on.
+        token = CancelToken()
+        consumed = []
+
+        def chunks():
+            for index in range(100):
+                yield np.full(10, index, dtype=np.uint64)
+
+        with pytest.raises(JobCancelled):
+            for chunk in token.guard(chunks()):
+                consumed.append(chunk)
+                if len(consumed) == 3:
+                    token.cancel()
+        assert len(consumed) == 3  # nothing after the cancelling boundary
+
+
+class TestGracefulDrain:
+    def test_inflight_request_finishes_while_new_ones_are_refused(self):
+        config = ServiceConfig(port=0, max_connections=4, request_timeout=30.0)
+        raw = (np.arange(20_000, dtype=np.uint64) % np.uint64(257)).tobytes()
+        with BackgroundServer(config) as server:
+            port = server.port
+            # Start a request, pause mid-body, then ask for shutdown.
+            sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+            try:
+                head = (
+                    f"POST /v1/compress?mode=c HTTP/1.1\r\nHost: x\r\n"
+                    f"Content-Length: {len(raw)}\r\n\r\n"
+                ).encode()
+                sock.sendall(head + raw[:8_000])
+                time.sleep(0.1)
+                server.service.shutdown()
+                time.sleep(0.1)
+                # New connections are refused now: the listener is closed
+                # (connection refused) or a racing accept answers 503.
+                try:
+                    status, _, _ = request(port, "GET", "/v1/healthz", timeout=5)
+                    assert status == 503
+                except OSError:
+                    pass
+                # The in-flight upload still completes and gets its 200.
+                sock.sendall(raw[8_000:])
+                sock.settimeout(30)
+                response = bytearray()
+                while b"\r\n\r\n" not in response:
+                    piece = sock.recv(4096)
+                    if not piece:
+                        break
+                    response.extend(piece)
+                assert b"200" in bytes(response).split(b"\r\n", 1)[0]
+            finally:
+                sock.close()
+        assert server.exit_code == 0
+
+    def test_double_shutdown_is_idempotent(self):
+        with BackgroundServer(ServiceConfig(port=0)) as server:
+            server.service.shutdown()
+            server.service.shutdown()
+        assert server.exit_code == 0

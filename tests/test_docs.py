@@ -90,8 +90,8 @@ def _parse_info_per_spec(container: Path):
 class TestDocsStructure:
     def test_docs_directory_has_the_promised_pages(self):
         for page in ("index.md", "architecture.md", "paper-map.md", "atc-format.md",
-                     "trace-formats.md", "workloads.md",
-                     "experiments.md", "distributed-sweeps.md", "performance.md", "cli.md"):
+                     "trace-formats.md", "workloads.md", "experiments.md",
+                     "distributed-sweeps.md", "performance.md", "service.md", "cli.md"):
             assert (_DOCS / page).is_file(), f"docs/{page} missing"
 
     def test_mkdocs_nav_targets_exist(self):
@@ -306,3 +306,65 @@ class TestTraceFormatSpecAgainstFixtures:
         page = (_DOCS / "workloads.md").read_text(encoding="utf-8")
         for name in ZOO_NAMES:
             assert name in page, f"workloads.md does not catalog {name}"
+
+
+# ``by_endpoint``/``by_status`` hold one entry per endpoint/status seen at
+# runtime; the documented example shows plausible entries, a live snapshot
+# shows whatever traffic happened — only their *type* is pinned.
+_DYNAMIC_METRIC_MAPS = {"by_endpoint", "by_status"}
+
+
+def _metrics_shape(value, name=""):
+    """Reduce a metrics document to its key structure and value types."""
+    if isinstance(value, dict):
+        if name in _DYNAMIC_METRIC_MAPS:
+            return "map"
+        return {key: _metrics_shape(child, key) for key, child in sorted(value.items())}
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, (int, float)):
+        return "number"
+    return type(value).__name__
+
+
+class TestServiceMetricsSchemaAgainstLiveServer:
+    """docs/service.md's /v1/metrics example is pinned against reality.
+
+    The example JSON document in the service guide is parsed out of the
+    page and its shape (keys, nesting, value types) compared with an
+    actual ``GET /v1/metrics`` response from a real server — if the
+    service grows or renames a counter without the documentation (and
+    the schema string) moving with it, this fails.
+    """
+
+    def _documented_example(self):
+        page = (_DOCS / "service.md").read_text(encoding="utf-8")
+        match = re.search(r"```json\n(.*?)```", page, flags=re.DOTALL)
+        assert match, "service.md must show the /v1/metrics example document"
+        return json.loads(match.group(1))
+
+    def test_documented_example_matches_a_live_snapshot(self):
+        import http.client
+
+        from repro.service import BackgroundServer, METRICS_SCHEMA, ServiceConfig
+
+        documented = self._documented_example()
+        assert documented["schema"] == METRICS_SCHEMA
+
+        with BackgroundServer(ServiceConfig(port=0)) as server:
+            connection = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+            try:
+                connection.request("GET", "/v1/metrics")
+                live = json.loads(connection.getresponse().read())
+            finally:
+                connection.close()
+        assert server.exit_code == 0
+        assert _metrics_shape(live) == _metrics_shape(documented)
+
+    def test_scraper_notes_match_the_documented_semantics(self):
+        # The page promises these fields by name in its scraper notes;
+        # keep the prose anchored to the real counter names.
+        page = (_DOCS / "service.md").read_text(encoding="utf-8")
+        for field in ("in_flight", "rejected", "aborted", "queue_depth",
+                      "hit_rate", "Retry-After", "X-Atc-Cache", "X-Atc-Key"):
+            assert field in page, f"service.md no longer documents {field}"

@@ -31,6 +31,7 @@ _PUBLIC_MODULES = (
     "repro.analysis",
     "repro.experiments",
     "repro.bench",
+    "repro.service",
     "repro.cli",
     "repro.errors",
 )
