@@ -149,8 +149,12 @@ def verify_metrics(args: argparse.Namespace, client: Client) -> None:
     check(status == 200, f"metrics endpoint answered {status}")
     snapshot = json.loads(body)
     check(
-        snapshot.get("schema") == "repro-service-metrics/1",
+        snapshot.get("schema") == "repro-service-metrics/2",
         f"unexpected metrics schema: {snapshot.get('schema')!r}",
+    )
+    check(
+        snapshot["cache"]["integrity_evictions"] >= 0,
+        "metrics report a negative integrity-eviction count",
     )
     requests = snapshot["requests"]
     # compresses + repeat + decompress (+ this metrics request, already counted).

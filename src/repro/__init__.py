@@ -63,6 +63,7 @@ from repro.errors import (
     CodecError,
     ConfigurationError,
     ContainerError,
+    IntegrityError,
     ParallelExecutionError,
     ReproError,
     TraceFormatError,
@@ -76,7 +77,7 @@ from repro.traces.filter import (
 from repro.traces.spec_like import SPEC_LIKE_NAMES, spec_like_suite
 from repro.traces.trace import AddressTrace, iter_raw_chunks, read_raw_trace, write_raw_trace
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 # The experiments subsystem imports the trace/codec layers above, so its
 # re-exports come last to keep the import order acyclic.
@@ -141,6 +142,7 @@ __all__ = [
     "ReproError",
     "TraceFormatError",
     "ContainerError",
+    "IntegrityError",
     "CodecError",
     "ConfigurationError",
     "ParallelExecutionError",

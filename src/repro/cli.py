@@ -36,13 +36,14 @@ from typing import List, Optional
 
 from repro.core.atc import MODE_LOSSLESS, MODE_LOSSY, AtcDecoder, AtcEncoder
 from repro.core.lossy import LossyConfig
-from repro.errors import ReproError, TraceFormatError
+from repro.errors import ContainerError, ReproError, TraceFormatError
 from repro.traces.trace import DEFAULT_CHUNK_ADDRESSES, iter_raw_chunks
 
 __all__ = [
     "bin2atc_main",
     "atc2bin_main",
     "inspect_main",
+    "fsck_main",
     "convert_main",
     "zoo_main",
     "sweep_main",
@@ -244,10 +245,18 @@ def _build_atc2bin_parser() -> argparse.ArgumentParser:
 
 @_exit_quietly_on_broken_pipe
 def atc2bin_main(argv: Optional[List[str]] = None) -> int:
-    """Entry point of the ``atc2bin`` console script."""
+    """Entry point of the ``atc2bin`` console script.
+
+    Exit codes: 0 success; 2 when the directory cannot be opened as an ATC
+    container (missing, truncated or corrupt INFO); 1 for any other error,
+    including integrity damage detected mid-decode.
+    """
     args = _build_atc2bin_parser().parse_args(argv)
     try:
         decoder = AtcDecoder(args.directory, workers=args.jobs, executor=_executor_spec(args))
+    except ContainerError as error:
+        print(f"atc2bin: error: {error}", file=sys.stderr)
+        return 2
     except ReproError as error:
         print(f"atc2bin: error: {error}", file=sys.stderr)
         return 1
@@ -263,6 +272,9 @@ def atc2bin_main(argv: Optional[List[str]] = None) -> int:
         for chunk in decoder.iter_chunks(_READ_CHUNK_ADDRESSES):
             sink.write(chunk.astype("<u8", copy=False).tobytes())
         return 0
+    except ReproError as error:
+        print(f"atc2bin: error: {error}", file=sys.stderr)
+        return 1
     finally:
         if args.output:
             sink.close()
@@ -274,15 +286,40 @@ def _build_inspect_parser() -> argparse.ArgumentParser:
         description="Print the metadata and interval-trace summary of an ATC container.",
     )
     parser.add_argument("directory", help="container directory to inspect")
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="also check every chunk against its recorded digest (format v2) or by "
+        "decompression (v1) without decoding the trace; exit 1 with a chunk-level "
+        "damage table on mismatch",
+    )
     return parser
+
+
+def _print_damage_table(scrub, stream) -> None:
+    """Render one container scrub as a chunk-level damage table."""
+    if scrub.info_status != "ok":
+        print(f"INFO             : {scrub.info_status} ({scrub.info_detail})", file=stream)
+    for chunk in scrub.chunks:
+        line = f"{chunk.file:<17}: {chunk.status}"
+        if chunk.detail:
+            line += f" ({chunk.detail})"
+        print(line, file=stream)
 
 
 @_exit_quietly_on_broken_pipe
 def inspect_main(argv: Optional[List[str]] = None) -> int:
-    """Entry point of the ``atc-inspect`` console script."""
+    """Entry point of the ``atc-inspect`` console script.
+
+    Exit codes: 0 success; with ``--verify``, 1 when any chunk fails its
+    integrity check; 2 when the directory is not an ATC container.
+    """
     args = _build_inspect_parser().parse_args(argv)
     try:
         decoder = AtcDecoder(args.directory)
+    except ContainerError as error:
+        print(f"atc-inspect: error: {error}", file=sys.stderr)
+        return 2
     except ReproError as error:
         print(f"atc-inspect: error: {error}", file=sys.stderr)
         return 1
@@ -291,11 +328,133 @@ def inspect_main(argv: Optional[List[str]] = None) -> int:
     imitations = sum(1 for record in records if record.kind == "imitate")
     print(f"container        : {args.directory}")
     for key in sorted(metadata):
+        if key == "chunk_digests":
+            # The digest table is per-chunk noise here; --verify checks it.
+            print(f"{key:<17}: {len(metadata[key])} chunks digested")
+            continue
         print(f"{key:<17}: {metadata[key]}")
     print(f"intervals        : {len(records)} ({imitations} imitated)")
     print(f"on-disk bytes    : {decoder.compressed_bytes()}")
     print(f"bits per address : {decoder.bits_per_address():.3f}")
+    if args.verify:
+        from repro.core.fsck import scrub_container
+
+        scrub = scrub_container(args.directory)
+        if not scrub.ok:
+            print("verify           : FAILED", file=sys.stderr)
+            _print_damage_table(scrub, sys.stderr)
+            return 1
+        print(f"verify           : ok ({len(scrub.chunks)} chunks checked)")
     return 0
+
+
+def _build_fsck_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro fsck",
+        description=(
+            "Scrub on-disk ATC storage for corruption: a container directory, a sweep "
+            "ResultStore, or a service cache root.  Damage is localized to chunk (or "
+            "store-entry) granularity; --repair salvages every intact chunk of a "
+            "damaged container into a new, valid partial container.  See "
+            "docs/robustness.md."
+        ),
+    )
+    parser.add_argument("path", help="container, result-store or cache directory to scrub")
+    parser.add_argument(
+        "--repair",
+        action="store_true",
+        help="salvage a damaged container's intact chunks into a valid partial "
+        "container (default destination: <path>.salvaged)",
+    )
+    parser.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        metavar="DIR",
+        help="destination directory for --repair (default: <path>.salvaged)",
+    )
+    parser.add_argument(
+        "--format",
+        "-f",
+        default="text",
+        choices=("text", "json"),
+        help="report format (default: text)",
+    )
+    return parser
+
+
+@_exit_quietly_on_broken_pipe
+def fsck_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro fsck`` subcommand.
+
+    Exit codes: 0 when everything scrubbed clean; 1 when damage was found
+    (even if --repair salvaged a partial container); 2 when the path is
+    not scannable at all (not a container/store/cache directory).
+    """
+    args = _build_fsck_parser().parse_args(argv)
+    from repro.core.fsck import repair_container, scrub_path
+
+    try:
+        report = scrub_path(args.path)
+    except ContainerError as error:
+        print(f"repro fsck: error: {error}", file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print(f"repro fsck: error: {error}", file=sys.stderr)
+        return 1
+
+    repair = None
+    repair_error = None
+    if args.repair and not report.ok:
+        damaged = [c for c in report.containers if not c.ok]
+        if len(report.containers) == 1 and report.kind == "container" and damaged:
+            destination = args.output if args.output else f"{args.path.rstrip('/')}.salvaged"
+            try:
+                repair = repair_container(args.path, destination)
+            except ReproError as error:
+                repair_error = str(error)
+        elif damaged:
+            repair_error = (
+                "--repair salvages a single container; run it on each damaged "
+                "container directory reported below"
+            )
+
+    if args.format == "json":
+        import json
+
+        document = report.to_json()
+        if repair is not None:
+            document["repair"] = repair.to_json()
+        if repair_error is not None:
+            document["repair_error"] = repair_error
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(f"path             : {report.path}")
+        print(f"kind             : {report.kind}")
+        for scrub in report.containers:
+            verdict = "clean" if scrub.ok else "DAMAGED"
+            print(f"container        : {scrub.path} ({verdict})")
+            if not scrub.ok:
+                _print_damage_table(scrub, sys.stdout)
+        for store in report.stores:
+            verdict = "clean" if store.ok else "DAMAGED"
+            print(f"store            : {store.path} ({len(store.entries)} entries, {verdict})")
+            for entry in store.damaged_entries:
+                line = f"  {entry.file:<15}: {entry.status}"
+                if entry.detail:
+                    line += f" ({entry.detail})"
+                print(line)
+        if repair is not None:
+            print(
+                f"repair           : salvaged {len(repair.salvaged_chunks)} chunks "
+                f"({repair.salvaged_addresses}/{repair.original_addresses} addresses) "
+                f"into {repair.destination}"
+            )
+            print(f"dropped chunks   : {repair.dropped_chunks}")
+        if repair_error is not None:
+            print(f"repro fsck: repair failed: {repair_error}", file=sys.stderr)
+        print(f"verdict          : {'clean' if report.ok else 'damage found'}")
+    return 0 if report.ok else 1
 
 
 def _build_convert_parser() -> argparse.ArgumentParser:
@@ -712,6 +871,12 @@ def _sweep_run_distributed(args, spec, cache_dir: str) -> int:
     )
     if report.skipped_leased:
         print(f"skipped (leased) : {report.skipped_leased}", file=sys.stderr)
+    if report.integrity_evictions:
+        print(
+            f"quarantined      : {report.integrity_evictions} corrupt "
+            f"store entr{'y' if report.integrity_evictions == 1 else 'ies'} (re-run)",
+            file=sys.stderr,
+        )
     print(
         f"sweep            : {report.total_units - report.remaining}/{report.total_units} "
         f"cells complete",
@@ -1039,6 +1204,7 @@ _SUBCOMMANDS = {
     "compress": (bin2atc_main, "raw 64-bit value stream -> ATC container (bin2atc)"),
     "decompress": (atc2bin_main, "ATC container -> raw 64-bit value stream (atc2bin)"),
     "inspect": (inspect_main, "print container metadata and sizes (atc-inspect)"),
+    "fsck": (fsck_main, "scrub containers/stores/caches for corruption; --repair salvages"),
     "convert": (convert_main, "convert k6/mase/binary trace files to and from ATC containers"),
     "zoo": (zoo_main, "list the registered workload zoo (mixes, GAP-like, STREAM-like)"),
     "sweep": (sweep_main, "run declarative experiment sweeps (run, status, report)"),

@@ -17,6 +17,8 @@ from repro.core.bytesort import (
     bytesort_window,
 )
 from repro.core.container import AtcContainer
+from repro.core.fsck import repair_container, scrub_container, scrub_path
+from repro.core.integrity import chunk_digest, json_digest
 from repro.core.inspect import LossyTraceReport, analyze_container, analyze_lossy
 from repro.core.histograms import (
     IntervalSummary,
@@ -75,6 +77,11 @@ __all__ = [
     "KernelBatchResult",
     "simulate_batch",
     "AtcContainer",
+    "scrub_container",
+    "repair_container",
+    "scrub_path",
+    "chunk_digest",
+    "json_digest",
     "LossyTraceReport",
     "analyze_lossy",
     "analyze_container",

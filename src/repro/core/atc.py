@@ -26,16 +26,17 @@ so a lossless container is simply a lossy container that never imitates.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterator, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 import numpy as np
 
-from repro.core.container import AtcContainer
+from repro.core.container import FORMAT_VERSION, AtcContainer
+from repro.core.integrity import chunk_digest, parse_chunk_digests
 from repro.core.intervals import IntervalRecord, materialize_interval
 from repro.core.lossless import LosslessCodec
 from repro.core.lossy import LossyConfig, LossyIntervalEncoder
 from repro.core.parallel import Executor, OrderedChunkWriter, executor_scope, resolve_workers
-from repro.errors import CodecError, ConfigurationError
+from repro.errors import CodecError, ConfigurationError, IntegrityError
 from repro.traces.trace import DEFAULT_CHUNK_ADDRESSES, AddressTrace, as_address_array
 
 __all__ = [
@@ -72,6 +73,11 @@ class AtcEncoder:
             :class:`~repro.core.executors.Executor` to share across
             encoders; overrides ``config.executor``.  Containers are
             byte-identical for every strategy.
+        format_version: Container format to write — ``2`` (the default)
+            records a digest per chunk plus an INFO footer digest so every
+            decode path verifies the bytes it reads; ``1`` reproduces the
+            original unchecked layout byte-for-byte (for interchange with
+            pre-v2 readers).
     """
 
     def __init__(
@@ -81,10 +87,16 @@ class AtcEncoder:
         config: Optional[LossyConfig] = None,
         suffix: Optional[str] = None,
         executor=None,
+        format_version: int = FORMAT_VERSION,
     ) -> None:
         if mode not in (MODE_LOSSY, MODE_LOSSLESS):
             raise ConfigurationError(f"encoder mode must be 'k' or 'c', got {mode!r}")
+        if format_version not in (1, 2):
+            raise ConfigurationError(
+                f"container format_version must be 1 or 2, got {format_version!r}"
+            )
         self.mode = mode
+        self.format_version = int(format_version)
         self.config = config if config is not None else LossyConfig()
         self.container = AtcContainer(
             directory, backend=self.config.backend, suffix=suffix, create=True
@@ -110,12 +122,20 @@ class AtcEncoder:
         # Ordered parallel chunk pipeline: chunk payloads are compressed on
         # the selected executor (threads, or processes with shared-memory
         # chunk transport) and written back to the container in submission
-        # order; on the serial default it runs inline.
+        # order; on the serial default it runs inline.  The write callback
+        # runs on the caller's thread regardless of executor, so digest
+        # collection here is race-free.
+        self._chunk_digests: Dict[int, str] = {}
         self._pipeline = OrderedChunkWriter(
-            self.container.write_chunk,
+            self._write_chunk,
             workers=self.config.workers,
             executor=executor if executor is not None else self.config.executor,
         )
+
+    def _write_chunk(self, chunk_id: int, payload: bytes):
+        if self.format_version >= 2:
+            self._chunk_digests[chunk_id] = chunk_digest(payload)
+        return self.container.write_chunk(chunk_id, payload)
 
     # -- context manager ------------------------------------------------------------------
     def __enter__(self) -> "AtcEncoder":
@@ -234,7 +254,7 @@ class AtcEncoder:
         self._pipeline.close()
         metadata = {
             "format": "atc",
-            "format_version": 1,
+            "format_version": self.format_version,
             "mode": "lossy" if self.mode == MODE_LOSSY else "lossless",
             "backend": self.container.backend.name,
             "original_length": self._total,
@@ -244,6 +264,10 @@ class AtcEncoder:
             "enable_translation": bool(self.config.enable_translation),
             "num_chunks": len(self.container.chunk_ids()),
         }
+        if self.format_version >= 2:
+            metadata["chunk_digests"] = {
+                str(chunk_id): digest for chunk_id, digest in sorted(self._chunk_digests.items())
+            }
         self.container.write_info(metadata, self._records)
         self._closed = True
 
@@ -280,28 +304,64 @@ def _chunk_loader_state(directory: str, backend: str, suffix, buffer_addresses: 
     return state
 
 
+def _load_verified_chunk(
+    container: AtcContainer,
+    codec: LosslessCodec,
+    chunk_id: int,
+    expected_digest: Optional[str],
+) -> np.ndarray:
+    """Read, digest-check and decompress one chunk.
+
+    The single funnel for every decode path (LRU cache, prefetch, bulk
+    ``read_all``, process workers): the raw bytes are checked against the
+    recorded digest first, and a chunk that then still fails to decompress
+    is reported as :class:`~repro.errors.IntegrityError` naming the file
+    and chunk rather than leaking a codec exception.
+    """
+    payload = container.read_chunk(chunk_id, expected_digest=expected_digest)
+    try:
+        return codec.decompress(payload)
+    except CodecError as exc:
+        target = container.path / f"{chunk_id + 1}.{container.suffix}"
+        raise IntegrityError(
+            f"{target}: chunk {chunk_id + 1} is corrupt: {exc}",
+            path=target,
+            chunk_id=chunk_id,
+        ) from exc
+
+
 class _ChunkLoader:
-    """Picklable read+decompress task for one container's chunks.
+    """Picklable read+verify+decompress task for one container's chunks.
 
     The decoder's prefetch fan-out ships this tiny object (directory,
-    back-end name, suffix, bytesort buffer size) to its executor instead of
-    the decoder itself; in a process worker the container handle and codec
-    are memoised per interpreter (:func:`_chunk_loader_state`), and the
-    decoded ``uint64`` arrays travel back through shared memory.
+    back-end name, suffix, bytesort buffer size, chunk-digest table)
+    to its executor instead of the decoder itself; in a process worker the
+    container handle and codec are memoised per interpreter
+    (:func:`_chunk_loader_state`), and the decoded ``uint64`` arrays travel
+    back through shared memory.  Digest verification rides along, so the
+    parallel prefetch path checks exactly what the serial path checks.
     """
 
-    def __init__(self, directory, backend: str, suffix: Optional[str], buffer_addresses: int) -> None:
+    def __init__(
+        self,
+        directory,
+        backend: str,
+        suffix: Optional[str],
+        buffer_addresses: int,
+        digests: Optional[Dict[int, str]] = None,
+    ) -> None:
         self.directory = str(directory)
         self.backend = backend
         self.suffix = suffix
         self.buffer_addresses = int(buffer_addresses)
+        self.digests = dict(digests) if digests else {}
 
     def __call__(self, chunk_id: int) -> np.ndarray:
-        """Read and decompress one chunk (pure; safe in any worker)."""
+        """Read, verify and decompress one chunk (pure; safe in any worker)."""
         container, codec = _chunk_loader_state(
             self.directory, self.backend, self.suffix, self.buffer_addresses
         )
-        return codec.decompress(container.read_chunk(chunk_id))
+        return _load_verified_chunk(container, codec, chunk_id, self.digests.get(chunk_id))
 
 
 class AtcDecoder:
@@ -356,6 +416,7 @@ class AtcDecoder:
             buffer_addresses=int(metadata.get("chunk_buffer_addresses", 1_000_000)),
             backend=self.container.backend,
         )
+        self._chunk_digests = parse_chunk_digests(metadata)
         self._workers = resolve_workers(workers)
         self._executor_spec = executor
         self._loader = _ChunkLoader(
@@ -363,6 +424,7 @@ class AtcDecoder:
             self.container.backend.name,
             self.container.suffix,
             int(metadata.get("chunk_buffer_addresses", 1_000_000)),
+            digests=self._chunk_digests,
         )
         if cache_chunks < 1:
             raise ConfigurationError("cache_chunks must be >= 1")
@@ -374,8 +436,10 @@ class AtcDecoder:
 
     # -- decoding ---------------------------------------------------------------------------
     def _load_chunk(self, chunk_id: int) -> np.ndarray:
-        """Read and decompress one chunk (pure; safe to call off-thread)."""
-        return self._chunk_codec.decompress(self.container.read_chunk(chunk_id))
+        """Read, verify and decompress one chunk (pure; safe off-thread)."""
+        return _load_verified_chunk(
+            self.container, self._chunk_codec, chunk_id, self._chunk_digests.get(chunk_id)
+        )
 
     def _store_chunk(self, chunk_id: int, decoded: np.ndarray) -> None:
         cache = self._chunk_cache
@@ -536,6 +600,16 @@ class AtcDecoder:
     def is_lossy(self) -> bool:
         """True when the container was written in lossy mode."""
         return self.metadata.get("mode") == "lossy"
+
+    @property
+    def format_version(self) -> int:
+        """Container format version (1 = unchecked, 2 = digest-protected)."""
+        return int(self.metadata.get("format_version", 1))
+
+    @property
+    def chunk_digests(self) -> Dict[int, str]:
+        """Recorded per-chunk digests (empty for a v1 container)."""
+        return dict(self._chunk_digests)
 
     def compressed_bytes(self) -> int:
         """Total on-disk size of the container."""

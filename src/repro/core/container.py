@@ -36,10 +36,12 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.backend import CompressionBackend, get_backend
+from repro.core.integrity import FOOTER_BYTES, footer_digest, verify_chunk_payload
 from repro.core.intervals import IntervalRecord
-from repro.errors import ContainerError
+from repro.errors import CodecError, ContainerError, IntegrityError
 
 __all__ = [
+    "FORMAT_VERSION",
     "AtcContainer",
     "serialize_interval_trace",
     "deserialize_interval_trace",
@@ -47,7 +49,14 @@ __all__ = [
 
 _RECORD_FIXED = struct.Struct("<BII")
 _TRANSLATION_BYTES = 8 * 256
-_INFO_MAGIC = b"ATCINFO1"
+_INFO_MAGIC_V1 = b"ATCINFO1"
+_INFO_MAGIC_V2 = b"ATCINFO2"
+_INFO_MAGIC = _INFO_MAGIC_V1  # historical name, kept for external readers
+
+#: Container format version written by default (v2 = per-chunk digests +
+#: INFO footer digest; v1 = the original unchecked layout, still readable
+#: and writable via ``AtcEncoder(format_version=1)``).
+FORMAT_VERSION = 2
 
 
 def serialize_interval_trace(records: List[IntervalRecord]) -> bytes:
@@ -132,7 +141,9 @@ class AtcContainer:
             if self._info_path().exists():
                 raise ContainerError(f"{self.path} already contains an ATC container")
         elif not self.path.is_dir():
-            raise ContainerError(f"{self.path} is not a directory")
+            raise ContainerError(
+                f"{self.path} is not an ATC container (not a directory of chunks)"
+            )
 
     @classmethod
     def detect_suffix(cls, path) -> Optional[str]:
@@ -166,12 +177,26 @@ class AtcContainer:
         target.write_bytes(payload)
         return target
 
-    def read_chunk(self, chunk_id: int) -> bytes:
-        """Read one chunk payload."""
+    def read_chunk(self, chunk_id: int, expected_digest: Optional[str] = None) -> bytes:
+        """Read one chunk payload, verifying its recorded digest if given.
+
+        With ``expected_digest`` (from a format-v2 ``chunk_digests`` table)
+        the raw file bytes are checked before they reach any decompressor,
+        so corruption raises :class:`~repro.errors.IntegrityError` instead
+        of surfacing as a codec failure — or worse, decoding silently.
+        """
         target = self._chunk_path(chunk_id)
         if not target.exists():
             raise ContainerError(f"missing chunk file {target}")
-        return target.read_bytes()
+        try:
+            payload = target.read_bytes()
+        except OSError as exc:
+            raise IntegrityError(
+                f"{target}: I/O error reading chunk {chunk_id + 1}: {exc}",
+                path=target,
+                chunk_id=chunk_id,
+            ) from exc
+        return verify_chunk_payload(payload, expected_digest, path=target, chunk_id=chunk_id)
 
     def chunk_ids(self) -> List[int]:
         """Chunk ids present on disk, sorted."""
@@ -185,36 +210,108 @@ class AtcContainer:
 
     # -- INFO ----------------------------------------------------------------------------
     def write_info(self, metadata: Dict, records: List[IntervalRecord]) -> Path:
-        """Write the INFO stream (JSON metadata + binary interval trace)."""
+        """Write the INFO stream (JSON metadata + binary interval trace).
+
+        The format version comes from ``metadata["format_version"]`` (v1
+        when absent): v1 bodies start with ``ATCINFO1`` and end after the
+        interval trace; v2 bodies start with ``ATCINFO2`` and append the
+        32-byte SHA-256 of every preceding body byte as a footer, all
+        inside the compressed stream.
+        """
+        version = int(metadata.get("format_version", 1))
+        if version not in (1, 2):
+            raise ContainerError(f"unsupported container format version {version}")
         header = json.dumps(metadata, sort_keys=True).encode("utf-8")
         interval_payload = serialize_interval_trace(records)
         body = (
-            _INFO_MAGIC
+            (_INFO_MAGIC_V2 if version == 2 else _INFO_MAGIC_V1)
             + struct.pack("<I", len(header))
             + header
             + struct.pack("<I", len(interval_payload))
             + interval_payload
         )
+        if version == 2:
+            body += footer_digest(body)
         target = self._info_path()
         target.write_bytes(self.backend.compress(body))
         return target
 
     def read_info(self) -> Tuple[Dict, List[IntervalRecord]]:
-        """Read the INFO stream; returns ``(metadata, interval_records)``."""
+        """Read the INFO stream; returns ``(metadata, interval_records)``.
+
+        Reads both format versions.  For v2 the footer digest is verified
+        before anything is parsed, so a corrupted INFO raises
+        :class:`~repro.errors.IntegrityError`; a stream that is not an ATC
+        INFO at all (bad magic, truncated header) raises a plain
+        :class:`~repro.errors.ContainerError` naming the file.
+        """
         target = self._info_path()
         if not target.exists():
             raise ContainerError(f"{self.path} has no {target.name}; not an ATC container?")
-        body = self.backend.decompress(target.read_bytes())
-        if not body.startswith(_INFO_MAGIC):
-            raise ContainerError("INFO stream has an unknown format")
-        offset = len(_INFO_MAGIC)
-        (header_length,) = struct.unpack_from("<I", body, offset)
-        offset += 4
-        metadata = json.loads(body[offset : offset + header_length].decode("utf-8"))
-        offset += header_length
-        (interval_length,) = struct.unpack_from("<I", body, offset)
-        offset += 4
-        records = deserialize_interval_trace(body[offset : offset + interval_length])
+        try:
+            raw = target.read_bytes()
+        except OSError as exc:
+            raise IntegrityError(f"{target}: I/O error reading INFO: {exc}", path=target) from exc
+        try:
+            body = self.backend.decompress(raw)
+        except CodecError as exc:
+            raise IntegrityError(
+                f"{target}: INFO stream fails to decompress "
+                f"(corrupt, or not an ATC container): {exc}",
+                path=target,
+            ) from exc
+        if body.startswith(_INFO_MAGIC_V2):
+            if len(body) < len(_INFO_MAGIC_V2) + FOOTER_BYTES:
+                raise IntegrityError(
+                    f"{target}: INFO stream is truncated (no footer digest)",
+                    path=target,
+                    offset=len(body),
+                )
+            payload, footer = body[:-FOOTER_BYTES], body[-FOOTER_BYTES:]
+            if footer_digest(payload) != footer:
+                raise IntegrityError(
+                    f"{target}: INFO footer digest mismatch (metadata is corrupt)",
+                    path=target,
+                )
+            return self._parse_info_body(payload, len(_INFO_MAGIC_V2), target)
+        if body.startswith(_INFO_MAGIC_V1):
+            return self._parse_info_body(body, len(_INFO_MAGIC_V1), target)
+        raise ContainerError(f"{target}: INFO stream has an unknown magic; not an ATC container")
+
+    def _parse_info_body(self, body: bytes, offset: int, target: Path) -> Tuple[Dict, List[IntervalRecord]]:
+        """Parse the header + interval trace of a decompressed INFO body.
+
+        Every length field is bounds-checked so a truncated body raises
+        :class:`~repro.errors.ContainerError` naming the file, never a raw
+        ``struct.error`` or ``json.JSONDecodeError``.
+        """
+        try:
+            (header_length,) = struct.unpack_from("<I", body, offset)
+            offset += 4
+            if offset + header_length > len(body):
+                raise ContainerError(
+                    f"{target}: INFO stream is truncated mid-header; not an ATC container"
+                )
+            metadata = json.loads(body[offset : offset + header_length].decode("utf-8"))
+            offset += header_length
+            (interval_length,) = struct.unpack_from("<I", body, offset)
+            offset += 4
+            if offset + interval_length > len(body):
+                raise ContainerError(
+                    f"{target}: INFO interval trace is truncated; not an ATC container"
+                )
+            records = deserialize_interval_trace(body[offset : offset + interval_length])
+        except ContainerError:
+            raise
+        except (struct.error, ValueError, UnicodeDecodeError) as exc:
+            # json.JSONDecodeError is a ValueError; struct.error covers the
+            # two fixed-width length fields when the body ends early.
+            raise ContainerError(
+                f"{target}: INFO stream is truncated or malformed "
+                f"({exc}); not an ATC container"
+            ) from exc
+        if not isinstance(metadata, dict):
+            raise ContainerError(f"{target}: INFO metadata is not a JSON object")
         return metadata, records
 
     # -- sizes ----------------------------------------------------------------------------

@@ -1,0 +1,125 @@
+"""Digest helpers for the ATC format-v2 integrity layer.
+
+Format v2 (see ``docs/atc-format.md``) protects a container end to end
+with two kinds of digest, both derived from SHA-256 (the stdlib has no
+CRC32C and the repository adds no dependencies):
+
+* a **chunk digest** — the first 16 hex characters (64 bits) of the
+  SHA-256 of a chunk file's raw on-disk bytes, recorded per chunk in the
+  INFO metadata under ``"chunk_digests"``;
+* a **footer digest** — the full 32-byte SHA-256 of the uncompressed INFO
+  body, appended to the body before compression, protecting the metadata
+  (and therefore the chunk-digest table) itself.
+
+64 truncated bits make an undetected random corruption a ~2**-64 event
+while keeping the metadata small; the footer is kept full-width because
+one 32-byte field per container is free.
+
+The same truncated digest doubles as the self-check embedded in
+:class:`~repro.experiments.store.ResultStore` entries and the service's
+:class:`~repro.service.cache.ContainerCache` index
+(:func:`json_digest`), so every storage layer shares one notion of
+"these bytes are what was written".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Mapping, Optional
+
+from repro.errors import IntegrityError
+
+__all__ = [
+    "CHUNK_DIGEST_HEX",
+    "ENTRY_DIGEST_KEY",
+    "FOOTER_BYTES",
+    "chunk_digest",
+    "footer_digest",
+    "json_digest",
+    "parse_chunk_digests",
+    "verify_chunk_payload",
+]
+
+#: Hex characters kept of a chunk's SHA-256 (64 bits).
+CHUNK_DIGEST_HEX = 16
+
+#: Size of the format-v2 INFO footer digest (full SHA-256).
+FOOTER_BYTES = 32
+
+#: Key under which a JSON store entry (``ResultStore``, the service cache
+#: index) embeds the digest of the rest of itself.
+ENTRY_DIGEST_KEY = "entry_digest"
+
+
+def chunk_digest(payload: bytes) -> str:
+    """Truncated SHA-256 of raw chunk-file bytes, as lowercase hex."""
+    return hashlib.sha256(payload).hexdigest()[:CHUNK_DIGEST_HEX]
+
+
+def footer_digest(body: bytes) -> bytes:
+    """Full 32-byte SHA-256 appended to a v2 INFO body before compression."""
+    return hashlib.sha256(body).digest()
+
+
+def json_digest(mapping: Mapping) -> str:
+    """Truncated SHA-256 of a JSON object's canonical encoding.
+
+    Canonical means ``json.dumps`` with sorted keys and no whitespace —
+    the same bytes regardless of insertion order — so a digest stored
+    inside the object (after removal) verifies the rest of it.
+    """
+    canonical = json.dumps(mapping, sort_keys=True, separators=(",", ":"))
+    return chunk_digest(canonical.encode("utf-8"))
+
+
+def parse_chunk_digests(metadata: Mapping) -> Dict[int, str]:
+    """Extract the ``chunk_digests`` table from INFO metadata.
+
+    Returns ``{}`` for v1 containers (no table).  A malformed table — the
+    wrong type, non-integer keys — raises :class:`IntegrityError` rather
+    than silently disabling verification.
+    """
+    raw = metadata.get("chunk_digests")
+    if raw is None:
+        return {}
+    if not isinstance(raw, dict):
+        raise IntegrityError("chunk_digests metadata is not a table")
+    digests: Dict[int, str] = {}
+    for key, value in raw.items():
+        try:
+            chunk_id = int(key)
+        except (TypeError, ValueError):
+            raise IntegrityError(f"chunk_digests has a non-integer chunk id {key!r}") from None
+        if not isinstance(value, str):
+            raise IntegrityError(f"chunk_digests entry for chunk {key} is not a digest string")
+        digests[chunk_id] = value
+    return digests
+
+
+def verify_chunk_payload(
+    payload: bytes,
+    expected: Optional[str],
+    path=None,
+    chunk_id: Optional[int] = None,
+) -> bytes:
+    """Check raw chunk bytes against their recorded digest.
+
+    Passes the payload through when ``expected`` is ``None`` (a v1
+    container records no digests); raises :class:`IntegrityError` naming
+    the file and chunk on mismatch.  Verification happens on the raw
+    on-disk bytes — before any decompression — so damage anywhere in the
+    file, including the chunk-stream header, is caught deterministically.
+    """
+    if expected is None:
+        return payload
+    actual = chunk_digest(payload)
+    if actual != expected:
+        where = f"chunk {chunk_id + 1}" if chunk_id is not None else "chunk"
+        name = str(path) if path is not None else where
+        raise IntegrityError(
+            f"{name}: {where} digest mismatch (recorded {expected}, found {actual})",
+            path=path,
+            chunk_id=chunk_id,
+        )
+    return payload

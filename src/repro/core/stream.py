@@ -44,6 +44,7 @@ __all__ = [
     "rechunk",
     "concat_chunks",
     "count_addresses",
+    "stream_digest",
 ]
 
 _U64 = np.dtype("<u8")
@@ -183,3 +184,30 @@ def count_addresses(
         if sink is not None:
             sink(chunk)
     return total
+
+
+def stream_digest(chunks: Iterable[np.ndarray]) -> "tuple[int, str]":
+    """Drain a chunk stream, returning ``(address_count, sha256_hex)``.
+
+    The digest covers the little-endian 8-byte encoding of every address
+    in order, independent of chunking (re-chunking a stream never changes
+    its digest), so two decode paths can be compared for byte-identity at
+    flat memory — this is how ``repro fsck`` and the chaos harness assert
+    "decodes to exactly the same trace" without materialising either side.
+
+    Example:
+        >>> import numpy as np
+        >>> a = stream_digest(chunk_array(np.arange(5, dtype=np.uint64), 2))
+        >>> b = stream_digest(chunk_array(np.arange(5, dtype=np.uint64), 3))
+        >>> a == b and a[0] == 5
+        True
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    total = 0
+    for chunk in chunks:
+        chunk = np.ascontiguousarray(_as_chunk(chunk), dtype=_U64)
+        total += int(chunk.size)
+        digest.update(chunk.tobytes())
+    return total, digest.hexdigest()

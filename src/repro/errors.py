@@ -20,6 +20,44 @@ class ContainerError(ReproError):
     """An on-disk ATC container (chunk directory) is invalid or corrupt."""
 
 
+def _rebuild_integrity_error(message, path, chunk_id, offset):
+    """Unpickle helper: restore an :class:`IntegrityError` with its fields."""
+    return IntegrityError(message, path=path, chunk_id=chunk_id, offset=offset)
+
+
+class IntegrityError(ContainerError):
+    """Stored bytes failed an integrity check (digest mismatch, truncation).
+
+    Raised by every decode path — :meth:`AtcDecoder.iter_chunks`, the chunk
+    LRU cache, parallel prefetch, the HTTP service — when on-disk bytes do
+    not match the digests recorded in a format-v2 container, or when a
+    chunk/INFO stream fails to decompress at all.  Carries the damage
+    location so callers (``repro fsck``, the quarantine layer) can localise
+    it without re-parsing the message:
+
+    Attributes:
+        path: Path of the damaged file, when known.
+        chunk_id: Zero-based chunk id of the damaged chunk, or ``None`` for
+            INFO/footer damage.
+        offset: Byte offset of the damage within the file, when it can be
+            determined (e.g. the observed length of a truncated stream).
+    """
+
+    def __init__(self, message, path=None, chunk_id=None, offset=None):
+        super().__init__(message)
+        self.path = str(path) if path is not None else None
+        self.chunk_id = chunk_id
+        self.offset = offset
+
+    def __reduce__(self):
+        # Keep path/chunk_id/offset across pickling: process-executor
+        # workers ship exceptions back through a pipe.
+        return (
+            _rebuild_integrity_error,
+            (str(self), self.path, self.chunk_id, self.offset),
+        )
+
+
 class CodecError(ReproError):
     """A compressor or decompressor was used incorrectly or hit bad data."""
 

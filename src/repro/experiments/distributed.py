@@ -396,6 +396,9 @@ class WorkerReport:
         pruned_leases: Moot lease files removed at the end of the run.
         remaining: Units still missing from the store when this worker
             finished (0 = the sweep is complete and mergeable).
+        integrity_evictions: Store entries this worker quarantined after
+            they failed their digest check on read (each one was re-run,
+            so a nonzero count means corruption was found *and healed*).
     """
 
     owner: str
@@ -410,6 +413,7 @@ class WorkerReport:
     skipped_leased: int = 0
     pruned_leases: int = 0
     remaining: int = 0
+    integrity_evictions: int = 0
 
     @property
     def is_sweep_complete(self) -> bool:
@@ -431,6 +435,7 @@ class WorkerReport:
             "skipped_leased": self.skipped_leased,
             "pruned_leases": self.pruned_leases,
             "remaining": self.remaining,
+            "integrity_evictions": self.integrity_evictions,
         }
 
 
@@ -561,6 +566,7 @@ class DistributedSweepRunner(SweepRunner):
         report.remaining = sum(
             1 for unit in self.plan.units if hashes[unit.label] not in self.store
         )
+        report.integrity_evictions = self.store.integrity_evictions
         return report
 
     def run(self):  # type: ignore[override]

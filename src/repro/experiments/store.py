@@ -36,9 +36,10 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from repro.core.integrity import ENTRY_DIGEST_KEY, json_digest
 from repro.errors import ConfigurationError
 
-__all__ = ["ResultStore"]
+__all__ = ["ResultStore", "DURABLE_FSYNC_ENV", "durable_fsync_enabled", "fsync_directory"]
 
 _HASH_RE = re.compile(r"^[0-9a-f]{64}$")
 
@@ -47,7 +48,30 @@ _HASH_RE = re.compile(r"^[0-9a-f]{64}$")
 #: milliseconds, so an hour is conservative by orders of magnitude).
 DEFAULT_TMP_MAX_AGE = 3600.0
 
+#: Environment variable enabling fsync-on-commit for every durable store
+#: (``ResultStore.put`` and the service cache commit).  Off by default:
+#: atomic rename alone keeps the store *consistent* (an entry is either
+#: old, new, or absent), but after a power loss a rename can survive while
+#: the renamed file's *data* did not reach disk — a renamed-but-empty
+#: entry.  Set to ``1`` to pay one fsync of the file and one of its
+#: directory per commit and close that window.
+DURABLE_FSYNC_ENV = "REPRO_DURABLE_FSYNC"
+
 _tmp_counter = itertools.count()
+
+
+def durable_fsync_enabled() -> bool:
+    """True when :data:`DURABLE_FSYNC_ENV` requests fsync-on-commit."""
+    return os.environ.get(DURABLE_FSYNC_ENV, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+def fsync_directory(directory) -> None:
+    """fsync a directory so a completed rename inside it is durable."""
+    fd = os.open(str(directory), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 class ResultStore:
@@ -59,17 +83,42 @@ class ResultStore:
 
     def __init__(self, directory) -> None:
         self.directory = Path(directory)
+        self._eviction_lock = threading.Lock()
+        #: Entries quarantined by this store instance after failing their
+        #: integrity check on read (each one was renamed aside, counted,
+        #: and reported as a miss so the unit is recomputed).
+        self.integrity_evictions = 0
 
     def _path(self, unit_hash: str) -> Path:
         if not _HASH_RE.match(unit_hash):
             raise ConfigurationError(f"malformed unit hash {unit_hash!r}")
         return self.directory / f"{unit_hash}.json"
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a failed entry aside (``<hash>.json.quarantine``) and count it.
+
+        Renaming — not deleting — preserves the bad bytes for post-mortem
+        (``repro fsck`` reports them) while guaranteeing the entry can
+        never be served again; the next ``get`` is a clean miss.
+        """
+        try:
+            path.replace(path.with_name(path.name + ".quarantine"))
+        except OSError:
+            # Racing another reader's quarantine (or the file vanished):
+            # either way it is no longer servable, which is what matters.
+            pass
+        with self._eviction_lock:
+            self.integrity_evictions += 1
+
     def get(self, unit_hash: str) -> Optional[Dict]:
         """Return the stored result for a hash, or ``None`` when absent.
 
-        A corrupt (half-written, hand-edited) entry reads as a miss, so the
-        unit is simply recomputed rather than crashing the sweep.
+        Every entry written since the integrity layer embeds its own digest
+        (:data:`ENTRY_DIGEST_KEY`); an entry that fails to parse or fails
+        its digest check is *quarantined* — renamed aside and counted in
+        :attr:`integrity_evictions` — and reads as a miss, so the unit is
+        recomputed rather than a corrupt result poisoning the sweep.
+        Legacy digest-less entries are returned as-is.
         """
         path = self._path(unit_hash)
         try:
@@ -79,8 +128,16 @@ class ResultStore:
         try:
             data = json.loads(text)
         except json.JSONDecodeError:
+            self._quarantine(path)
             return None
-        return data if isinstance(data, dict) else None
+        if not isinstance(data, dict):
+            self._quarantine(path)
+            return None
+        expected = data.pop(ENTRY_DIGEST_KEY, None)
+        if expected is not None and json_digest(data) != expected:
+            self._quarantine(path)
+            return None
+        return data
 
     def put(self, unit_hash: str, result: Dict) -> None:
         """Store one result; the write is atomic (rename of a temp file).
@@ -90,17 +147,47 @@ class ResultStore:
         at the same moment) each rename their own complete temp file onto
         the destination, so the store always holds one valid entry — the
         last rename wins — and no writer can trip over another's temp file.
+
+        The entry embeds a digest over itself (:data:`ENTRY_DIGEST_KEY`)
+        so later reads can detect corruption, and with
+        :data:`DURABLE_FSYNC_ENV` set the file and directory are fsynced
+        so a crash right after ``put`` cannot leave a renamed-but-empty
+        entry.
         """
         path = self._path(unit_hash)
         self.directory.mkdir(parents=True, exist_ok=True)
         tmp = self.directory / (
             f"{unit_hash}.{os.getpid()}.{threading.get_ident()}.{next(_tmp_counter)}.tmp"
         )
-        tmp.write_text(json.dumps(result, sort_keys=True, indent=1), encoding="utf-8")
-        tmp.replace(path)
+        # Round-trip through JSON first so the digest is computed over
+        # exactly what a later read will re-parse (tuples become lists,
+        # NaN-free floats normalise, key order is canonicalised).
+        payload = json.loads(json.dumps(result, sort_keys=True))
+        payload[ENTRY_DIGEST_KEY] = json_digest(
+            {key: value for key, value in payload.items() if key != ENTRY_DIGEST_KEY}
+        )
+        text = json.dumps(payload, sort_keys=True, indent=1)
+        if durable_fsync_enabled():
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            tmp.replace(path)
+            fsync_directory(self.directory)
+        else:
+            tmp.write_text(text, encoding="utf-8")
+            tmp.replace(path)
 
     def __contains__(self, unit_hash: str) -> bool:
-        return self._path(unit_hash).exists()
+        """True when a *valid* entry exists for the hash.
+
+        Goes through :meth:`get` rather than a bare ``exists()`` so that a
+        corrupt entry reads as absent (and is quarantined on the spot) —
+        this is what makes a distributed sweep *re-run* a unit whose
+        stored result was damaged, instead of counting it complete and
+        merging a hole.
+        """
+        return self.get(unit_hash) is not None
 
     def keys(self) -> List[str]:
         """Hashes of every stored result, sorted."""
@@ -127,6 +214,16 @@ class ResultStore:
         if not self.directory.is_dir():
             return []
         return sorted(self.directory.glob("*.tmp"))
+
+    def quarantine_files(self) -> List[Path]:
+        """Entries quarantined after failing their integrity check on read.
+
+        Kept on disk for post-mortem; safe to delete once inspected (they
+        are never read as results again).
+        """
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("*.quarantine"))
 
     def prune_tmp(self, max_age_seconds: float = DEFAULT_TMP_MAX_AGE) -> int:
         """Remove temp files older than ``max_age_seconds``; returns the count.

@@ -152,7 +152,9 @@ class AtcService:
             cache_root = self._owned_cache_dir
         else:
             cache_root = self.config.cache_dir
-        self.cache = ContainerCache(cache_root)
+        self.cache = ContainerCache(
+            cache_root, on_integrity_eviction=self.metrics.integrity_eviction
+        )
         self._routes: Dict[str, Tuple[str, str, Callable]] = {
             "/v1/compress": ("compress", "POST", self._compress),
             "/v1/decompress": ("decompress", "POST", self._decompress),

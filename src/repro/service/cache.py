@@ -41,8 +41,9 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional
 
+from repro.core.fsck import scrub_container
 from repro.errors import ContainerError
-from repro.experiments.store import ResultStore
+from repro.experiments.store import ResultStore, durable_fsync_enabled, fsync_directory
 
 __all__ = [
     "CONTAINER_MEDIA_TYPE",
@@ -178,12 +179,18 @@ class ContainerCache:
 
     Args:
         directory: Cache root; created on first use.
+        on_integrity_eviction: Optional zero-argument callback invoked once
+            per evicted entry (the service wires its metrics counter here).
     """
 
-    def __init__(self, directory) -> None:
+    def __init__(self, directory, on_integrity_eviction=None) -> None:
         self.directory = Path(directory)
         self.store = ResultStore(self.directory / "index")
         self._containers = self.directory / "containers"
+        self._eviction_lock = threading.Lock()
+        self._on_integrity_eviction = on_integrity_eviction
+        #: Cached containers evicted after failing verification on lookup.
+        self.integrity_evictions = 0
 
     def key(self, body_digest: str, mode: str, params: Dict) -> str:
         """Derive the cache key for (trace digest, codec configuration).
@@ -208,17 +215,52 @@ class ContainerCache:
         """Where the committed container for ``key`` lives (or would live)."""
         return self._containers / key
 
+    def _evict(self, key: str, path: Path) -> None:
+        """Remove a cached container that failed verification.
+
+        The container directory is deleted and the index entry unlinked —
+        never quarantined-in-place, because the invariant is that a lookup
+        can only ever return bytes that just passed their digests.  The
+        eviction is counted and reported so operators see silent disk
+        corruption instead of silently re-encoding forever.
+        """
+        shutil.rmtree(path, ignore_errors=True)
+        try:
+            (self.store.directory / f"{key}.json").unlink()
+        except OSError:
+            pass  # racing eviction, or the index entry already vanished
+        with self._eviction_lock:
+            self.integrity_evictions += 1
+        if self._on_integrity_eviction is not None:
+            self._on_integrity_eviction()
+
     def lookup(self, key: str) -> Optional[CachedContainer]:
         """Return the cached entry for ``key``, or ``None`` on a miss.
 
-        An index entry whose container directory vanished (pruned by hand)
-        reads as a miss, mirroring the sweep store's corrupt-entry rule.
+        Every hit is verified before it is served: the container's INFO
+        footer and per-chunk digests are checked
+        (:func:`repro.core.fsck.scrub_container`), and a container that
+        fails — flipped bit, truncated chunk, torn write — is *evicted*
+        (directory removed, index entry dropped,
+        :attr:`integrity_evictions` incremented) and reported as a miss so
+        the caller re-encodes.  Corrupt cached bytes are therefore never
+        re-served.  An index entry whose container directory vanished
+        (pruned by hand) likewise reads as a miss.
         """
         entry = self.store.get(key)
         if entry is None:
             return None
         path = self.container_path(key)
         if not path.is_dir():
+            return None
+        try:
+            scrub = scrub_container(path)
+        except ContainerError:
+            # Not even openable as a container (e.g. INFO stream gone).
+            self._evict(key, path)
+            return None
+        if not scrub.ok:
+            self._evict(key, path)
             return None
         return CachedContainer(
             key=key,
@@ -238,14 +280,29 @@ class ContainerCache:
         The rename is the commit point; a loser of a concurrent-identical
         race keeps the winner's container and discards its own workspace,
         so every caller observes exactly one immutable container per key.
+        With :data:`~repro.experiments.store.DURABLE_FSYNC_ENV` set, the
+        workspace's files and the rename are fsynced first so a power loss
+        cannot leave a committed-but-empty container.
         """
         final = self.container_path(key)
+        if durable_fsync_enabled():
+            for path in sorted(workspace.iterdir()):
+                if path.is_file():
+                    fd = os.open(str(path), os.O_RDONLY)
+                    try:
+                        os.fsync(fd)
+                    finally:
+                        os.close(fd)
+            fsync_directory(workspace)
         try:
             os.rename(workspace, final)
         except OSError:
             # Another writer committed first: their container is identical
             # by construction (same key, deterministic encoder).
             shutil.rmtree(workspace, ignore_errors=True)
+        else:
+            if durable_fsync_enabled():
+                fsync_directory(self._containers)
         payload_bytes = sum(path.stat().st_size for path in final.iterdir() if path.is_file())
         self.store.put(
             key,

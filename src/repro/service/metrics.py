@@ -5,7 +5,7 @@ Every observable the CI load lane asserts on lives here: request counts
 executor queue depth, bytes moved in each direction, a bounded latency
 reservoir reduced to p50/p95, and the dedup-cache hit rate.  The
 ``GET /v1/metrics`` endpoint returns exactly :meth:`ServiceMetrics.snapshot`,
-whose schema (``repro-service-metrics/1``) is documented in
+whose schema (``repro-service-metrics/2``) is documented in
 ``docs/service.md`` and pinned by ``tests/test_docs.py`` against a real
 server response.
 
@@ -34,7 +34,8 @@ from typing import Deque, Dict, Optional
 __all__ = ["METRICS_SCHEMA", "LATENCY_RESERVOIR", "ServiceMetrics", "JobTicket"]
 
 #: Schema tag stamped into every snapshot (and asserted by the docs test).
-METRICS_SCHEMA = "repro-service-metrics/1"
+#: ``/2`` added ``cache.integrity_evictions``.
+METRICS_SCHEMA = "repro-service-metrics/2"
 
 #: Number of recent request latencies kept for the percentile estimates.
 #: Bounded so a long-lived server's metrics stay O(1) in memory; at CI load
@@ -104,6 +105,7 @@ class ServiceMetrics:
         self._latency_max = 0.0
         self._cache_hits = 0
         self._cache_misses = 0
+        self._integrity_evictions = 0
 
     # -- request lifecycle -----------------------------------------------------------------
     def request_started(self, endpoint: str) -> None:
@@ -173,6 +175,16 @@ class ServiceMetrics:
         with self._lock:
             self._cache_misses += 1
 
+    def integrity_eviction(self) -> None:
+        """Count a cached container evicted after failing verification.
+
+        Wired as the :class:`~repro.service.cache.ContainerCache` callback;
+        a nonzero value means the cache found (and refused to re-serve)
+        corrupt bytes on disk.
+        """
+        with self._lock:
+            self._integrity_evictions += 1
+
     # -- snapshot --------------------------------------------------------------------------
     def snapshot(self) -> Dict:
         """One consistent JSON-ready view of every counter (the endpoint body)."""
@@ -204,5 +216,6 @@ class ServiceMetrics:
                     "misses": self._cache_misses,
                     "lookups": lookups,
                     "hit_rate": (self._cache_hits / lookups) if lookups else 0.0,
+                    "integrity_evictions": self._integrity_evictions,
                 },
             }

@@ -1,0 +1,11 @@
+"""Test-support utilities shipped with the library.
+
+:mod:`repro.testing.faults` is the I/O fault-injection harness used by the
+integrity test suite and the CI chaos lane; it lives in the package (not
+under ``tests/``) so out-of-process chaos scripts can drive the same
+faults through ``python -m repro.testing.faults``.
+"""
+
+from repro.testing.faults import TransientEIO, flip_bit, torn_write, truncate_file
+
+__all__ = ["flip_bit", "truncate_file", "torn_write", "TransientEIO"]

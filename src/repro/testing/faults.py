@@ -1,0 +1,194 @@
+"""I/O fault injection for the integrity test suite and the CI chaos lane.
+
+Three on-disk corruption primitives plus one transient-error context
+manager, each modelling a real failure:
+
+* :func:`flip_bit` — a single flipped bit (decaying media, bad RAM on the
+  write path);
+* :func:`truncate_file` — a short file (crash mid-append, partial copy);
+* :func:`torn_write` — a file whose *size* survived but whose tail was
+  never written (power loss after a rename was journalled but before the
+  renamed file's data blocks hit disk: the tail reads back as zeros);
+* :class:`TransientEIO` — reads that fail with ``EIO`` a few times and
+  then succeed (a flaky disk or network filesystem).
+
+All three file mutators operate in place and return enough information to
+assert on (the offset touched, the bytes removed).  They are deliberately
+tiny and dependency-free; the CI chaos lane drives them out-of-process via
+``python -m repro.testing.faults`` against a live sweep store or service
+cache, e.g.::
+
+    python -m repro.testing.faults flip-bit cache/containers/<key>/2.bz2 101
+    python -m repro.testing.faults torn-write cache/index/<hash>.json 10
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import sys
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+__all__ = ["flip_bit", "truncate_file", "torn_write", "TransientEIO", "main"]
+
+
+def flip_bit(path, bit_offset: int) -> int:
+    """Flip one bit of a file in place; returns the affected byte offset.
+
+    ``bit_offset`` counts from bit 0 of byte 0 (LSB-first within a byte),
+    so a file of ``n`` bytes accepts offsets ``0 .. 8*n - 1``.
+    """
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not 0 <= bit_offset < 8 * len(data):
+        raise ValueError(
+            f"bit offset {bit_offset} out of range for {len(data)}-byte file {path}"
+        )
+    byte_offset = bit_offset // 8
+    data[byte_offset] ^= 1 << (bit_offset % 8)
+    path.write_bytes(bytes(data))
+    return byte_offset
+
+
+def truncate_file(path, length: int) -> int:
+    """Truncate a file to ``length`` bytes; returns the bytes removed.
+
+    ``length`` must not exceed the current size (growing a file is not a
+    corruption this harness models).
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    if not 0 <= length <= size:
+        raise ValueError(f"cannot truncate {size}-byte file {path} to {length} bytes")
+    with open(path, "r+b") as handle:
+        handle.truncate(length)
+    return size - length
+
+
+def torn_write(path, keep_bytes: int) -> int:
+    """Zero-fill a file's tail, keeping the first ``keep_bytes`` intact.
+
+    Models the torn-write window of rename-based commits: the rename
+    reached the journal, the file has its full size, but data blocks past
+    ``keep_bytes`` never made it to disk and read back as zeros.  This is
+    exactly the failure :data:`~repro.experiments.store.DURABLE_FSYNC_ENV`
+    exists to close.  Returns the number of zeroed bytes.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    if not 0 <= keep_bytes <= size:
+        raise ValueError(f"cannot keep {keep_bytes} bytes of {size}-byte file {path}")
+    with open(path, "r+b") as handle:
+        handle.seek(keep_bytes)
+        handle.write(b"\x00" * (size - keep_bytes))
+    return size - keep_bytes
+
+
+class TransientEIO:
+    """Make the first ``failures`` matching ``Path`` reads raise ``EIO``.
+
+    Patches :meth:`pathlib.Path.read_bytes` and
+    :meth:`pathlib.Path.read_text` while active; a read whose path
+    satisfies ``match`` fails with ``OSError(errno.EIO)`` until the failure
+    budget is spent, after which reads pass through untouched — the
+    transient-fault shape retry loops must survive.
+
+    Args:
+        match: Substring of the path, or a ``path -> bool`` predicate.
+            ``None`` matches every read.
+        failures: How many matching reads fail before recovery.
+
+    Example:
+        >>> import tempfile
+        >>> target = Path(tempfile.mkdtemp()) / "data.bin"
+        >>> _ = target.write_bytes(b"ok")
+        >>> with TransientEIO(match="data.bin", failures=1) as fault:
+        ...     try:
+        ...         target.read_bytes()
+        ...     except OSError as error:
+        ...         print(error.errno == errno.EIO)
+        ...     print(target.read_bytes())
+        True
+        b'ok'
+        >>> fault.failures_injected
+        1
+    """
+
+    def __init__(
+        self,
+        match: Optional[Union[str, Callable[[Path], bool]]] = None,
+        failures: int = 1,
+    ) -> None:
+        self._match = match
+        self._budget = int(failures)
+        self.failures_injected = 0
+        self._originals = {}
+
+    def _matches(self, path: Path) -> bool:
+        if self._match is None:
+            return True
+        if callable(self._match):
+            return bool(self._match(path))
+        return self._match in str(path)
+
+    def _maybe_fail(self, path: Path) -> None:
+        if self._budget > 0 and self._matches(path):
+            self._budget -= 1
+            self.failures_injected += 1
+            raise OSError(errno.EIO, "injected transient I/O error", str(path))
+
+    def __enter__(self) -> "TransientEIO":
+        self._originals = {
+            "read_bytes": Path.read_bytes,
+            "read_text": Path.read_text,
+        }
+        fault = self
+
+        def read_bytes(self):  # noqa: ANN001 - patched method signature
+            fault._maybe_fail(self)
+            return fault._originals["read_bytes"](self)
+
+        def read_text(self, *args, **kwargs):  # noqa: ANN001
+            fault._maybe_fail(self)
+            return fault._originals["read_text"](self, *args, **kwargs)
+
+        Path.read_bytes = read_bytes  # type: ignore[method-assign]
+        Path.read_text = read_text  # type: ignore[method-assign]
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        Path.read_bytes = self._originals["read_bytes"]  # type: ignore[method-assign]
+        Path.read_text = self._originals["read_text"]  # type: ignore[method-assign]
+        self._originals = {}
+
+
+def main(argv=None) -> int:
+    """Command-line fault injector (the CI chaos lane's crowbar).
+
+    Usage::
+
+        python -m repro.testing.faults flip-bit   PATH BIT_OFFSET
+        python -m repro.testing.faults truncate   PATH LENGTH
+        python -m repro.testing.faults torn-write PATH KEEP_BYTES
+    """
+    argv = list(sys.argv[1:] if argv is None else argv)
+    commands = {"flip-bit": flip_bit, "truncate": truncate_file, "torn-write": torn_write}
+    if len(argv) != 3 or argv[0] not in commands:
+        print(main.__doc__, file=sys.stderr)
+        return 2
+    command, path, amount = argv
+    if not os.path.isfile(path):
+        print(f"fault target is not a file: {path}", file=sys.stderr)
+        return 2
+    try:
+        touched = commands[command](path, int(amount))
+    except (ValueError, OSError) as error:
+        print(f"fault injection failed: {error}", file=sys.stderr)
+        return 1
+    print(f"{command} {path}: {touched}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -79,9 +79,18 @@ def golden_directory(mode_name: str, backend: str) -> Path:
     return GOLDEN_ROOT / f"{mode_name}_{backend}"
 
 
-def write_golden_container(directory: Path, mode: str, backend: str) -> None:
+def golden_v1_directory(mode_name: str, backend: str) -> Path:
+    """The committed format-v1 twin of a golden container (legacy reader pin)."""
+    return GOLDEN_ROOT / "v1" / f"{mode_name}_{backend}"
+
+
+def write_golden_container(
+    directory: Path, mode: str, backend: str, format_version: int = 2
+) -> None:
     """Encode the golden input into ``directory`` (used by tests and --regen)."""
-    with AtcEncoder(directory, mode=mode, config=golden_config(backend)) as encoder:
+    with AtcEncoder(
+        directory, mode=mode, config=golden_config(backend), format_version=format_version
+    ) as encoder:
         encoder.code_many(golden_addresses())
 
 
@@ -135,18 +144,67 @@ class TestGoldenContainers:
         for mode_name, _, backend in GOLDEN_VARIANTS:
             decoder = AtcDecoder(golden_directory(mode_name, backend))
             assert decoder.metadata["format"] == "atc"
-            assert decoder.metadata["format_version"] == 1
+            assert decoder.metadata["format_version"] == 2
             assert decoder.metadata["mode"] == mode_name
             assert decoder.metadata["original_length"] == golden_addresses().size
+            digests = decoder.metadata["chunk_digests"]
+            assert set(digests) == {str(i) for i in decoder.container.chunk_ids()}
+            assert all(len(d) == 16 for d in digests.values())
+
+
+class TestGoldenV1Containers:
+    """The format-v1 twins: the legacy layout stays pinned byte-for-byte.
+
+    Format v2 is the default, but v1 must remain both writable (for
+    interchange with pre-v2 readers) and readable — these fixtures are the
+    exact bytes the encoder produced before the integrity layer existed.
+    """
+
+    def test_v1_fixtures_are_committed(self):
+        for mode_name, _, backend in GOLDEN_VARIANTS:
+            assert golden_v1_directory(mode_name, backend).is_dir()
+
+    def test_v1_encoder_reproduces_v1_containers_byte_for_byte(self, tmp_path):
+        for mode_name, mode, backend in GOLDEN_VARIANTS:
+            fresh = tmp_path / f"{mode_name}_{backend}"
+            write_golden_container(fresh, mode, backend, format_version=1)
+            expected = _read_files(golden_v1_directory(mode_name, backend))
+            actual = _read_files(fresh)
+            assert actual.keys() == expected.keys(), (mode_name, backend)
+            for name in expected:
+                assert actual[name] == expected[name], (
+                    f"v1/{mode_name}_{backend}/{name} drifted from the committed bytes"
+                )
+
+    def test_v1_containers_decode_identically_to_v2(self):
+        for mode_name, _, backend in GOLDEN_VARIANTS:
+            v1 = AtcDecoder(golden_v1_directory(mode_name, backend))
+            v2 = AtcDecoder(golden_directory(mode_name, backend))
+            assert v1.metadata["format_version"] == 1
+            assert "chunk_digests" not in v1.metadata
+            assert np.array_equal(v1.read_all(), v2.read_all()), (mode_name, backend)
+
+    def test_v1_and_v2_chunk_files_are_identical(self):
+        """The integrity layer changes INFO only — chunk payloads are untouched."""
+        for mode_name, _, backend in GOLDEN_VARIANTS:
+            v1 = _read_files(golden_v1_directory(mode_name, backend))
+            v2 = _read_files(golden_directory(mode_name, backend))
+            assert v1.keys() == v2.keys()
+            for name in v1:
+                if not name.startswith("INFO."):
+                    assert v1[name] == v2[name], (mode_name, backend, name)
 
 
 def _regenerate() -> None:
     for mode_name, mode, backend in GOLDEN_VARIANTS:
-        directory = golden_directory(mode_name, backend)
-        if directory.exists():
-            shutil.rmtree(directory)
-        write_golden_container(directory, mode, backend)
-        print(f"wrote {directory}")
+        for directory, version in (
+            (golden_directory(mode_name, backend), 2),
+            (golden_v1_directory(mode_name, backend), 1),
+        ):
+            if directory.exists():
+                shutil.rmtree(directory)
+            write_golden_container(directory, mode, backend, format_version=version)
+            print(f"wrote {directory} (format v{version})")
 
 
 if __name__ == "__main__":

@@ -313,6 +313,31 @@ class TestDistributedRunner:
         assert sorted(evaluated) == sorted(u.label for u in expand_sweep(_SPEC).units)
         assert _leftovers(cache) == []
 
+    def test_corrupt_store_entry_is_quarantined_and_rerun(self, tmp_path):
+        """The exactly-once contract survives on-disk corruption.
+
+        A completed sweep whose store loses one entry to bit rot must heal
+        itself on the next worker pass: the damaged entry is quarantined
+        (counted in the report), exactly that one unit is re-evaluated, and
+        the merged result is byte-identical to the uncorrupted run.
+        """
+        cache = tmp_path / "cache"
+        first = _StubDistributedRunner(_SPEC, cache).run_worker()
+        assert first.remaining == 0 and first.integrity_evictions == 0
+        baseline = merge_sweep(_SPEC, ResultStore(cache)).result.normalized().to_json()
+
+        victim = sorted(Path(cache).glob("*.json"))[0]
+        victim.write_text(victim.read_text().replace(":", ";", 1))
+
+        second = _StubDistributedRunner(_SPEC, cache).run_worker()
+        assert second.integrity_evictions == 1
+        assert second.evaluated == 1  # only the damaged unit re-ran
+        assert second.remaining == 0
+        assert list(Path(cache).glob("*.quarantine"))  # bad bytes kept aside
+        merged = merge_sweep(_SPEC, ResultStore(cache))
+        assert merged.is_complete
+        assert merged.result.normalized().to_json() == baseline
+
     def test_stealer_finishes_an_abandoned_shard(self, tmp_path):
         cache = tmp_path / "cache"
         first = _StubDistributedRunner(_SPEC, cache, shard="1/2").run_worker()

@@ -1,0 +1,134 @@
+"""ResultStore integrity: entry digests, quarantine, and durable commits.
+
+The sweep store is the coordination substrate of distributed runs, so a
+corrupt entry must never be *served* — it is quarantined (renamed aside,
+counted) and the unit recomputed.  The torn-write test doubles as the
+motivation for ``REPRO_DURABLE_FSYNC``: without the digest an entry whose
+tail was never written would parse as truncated garbage or, worse, as a
+valid-looking document.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.integrity import ENTRY_DIGEST_KEY
+from repro.experiments.store import (
+    DURABLE_FSYNC_ENV,
+    ResultStore,
+    durable_fsync_enabled,
+)
+from repro.testing.faults import torn_write
+
+KEY = "ab" * 32
+
+
+@pytest.fixture()
+def store(tmp_path) -> ResultStore:
+    return ResultStore(tmp_path / "cache")
+
+
+class TestEntryDigests:
+    def test_roundtrip_strips_the_digest_key(self, store):
+        store.put(KEY, {"bits_per_address": 1.5})
+        entry = store.get(KEY)
+        assert entry == {"bits_per_address": 1.5}
+        assert ENTRY_DIGEST_KEY not in entry
+
+    def test_entries_embed_a_digest_on_disk(self, store):
+        store.put(KEY, {"metric": 3})
+        raw = json.loads((store.directory / f"{KEY}.json").read_text())
+        assert ENTRY_DIGEST_KEY in raw
+
+    def test_legacy_digestless_entries_are_served(self, store):
+        store.directory.mkdir(parents=True)
+        (store.directory / f"{KEY}.json").write_text(json.dumps({"old": True}))
+        assert store.get(KEY) == {"old": True}
+        assert store.integrity_evictions == 0
+
+
+class TestQuarantine:
+    def _corrupt(self, store):
+        path = store.directory / f"{KEY}.json"
+        path.write_text(path.read_text().replace("1.5", "2.5"))
+
+    def test_tampered_entry_is_quarantined_and_misses(self, store):
+        store.put(KEY, {"bits_per_address": 1.5})
+        self._corrupt(store)
+        assert store.get(KEY) is None
+        assert store.integrity_evictions == 1
+        assert KEY not in store
+        assert store.keys() == []
+
+    def test_quarantined_bytes_are_preserved_for_post_mortem(self, store):
+        store.put(KEY, {"bits_per_address": 1.5})
+        self._corrupt(store)
+        tampered = (store.directory / f"{KEY}.json").read_text()
+        store.get(KEY)
+        files = store.quarantine_files()
+        assert [p.name for p in files] == [f"{KEY}.json.quarantine"]
+        assert files[0].read_text() == tampered
+
+    def test_unparsable_entry_is_quarantined(self, store):
+        store.directory.mkdir(parents=True)
+        (store.directory / f"{KEY}.json").write_text("{broken")
+        assert store.get(KEY) is None
+        assert store.integrity_evictions == 1
+
+    def test_quarantine_then_put_heals_the_entry(self, store):
+        store.put(KEY, {"metric": 1})
+        self_path = store.directory / f"{KEY}.json"
+        self_path.write_text("not json")
+        assert store.get(KEY) is None
+        store.put(KEY, {"metric": 1})
+        assert store.get(KEY) == {"metric": 1}
+        assert store.integrity_evictions == 1
+
+    def test_contains_goes_through_verification(self, store):
+        """``in`` must not claim a corrupt entry is a completed unit."""
+        store.put(KEY, {"metric": 1})
+        assert KEY in store
+        self._corrupt_any(store)
+        assert KEY not in store
+
+    def _corrupt_any(self, store):
+        path = store.directory / f"{KEY}.json"
+        path.write_text(path.read_text().replace(":", ";", 1))
+
+
+class TestTornWritesAndFsync:
+    def test_torn_write_is_detected_thanks_to_the_digest(self, store):
+        """A zero-filled tail (the rename survived, the data did not).
+
+        This is the exact crash signature ``REPRO_DURABLE_FSYNC`` prevents;
+        the digest guarantees that *if* it happens, it is detected and the
+        unit re-run instead of a half-written entry being trusted.
+        """
+        store.put(KEY, {"bits_per_address": 1.23456})
+        path = store.directory / f"{KEY}.json"
+        torn_write(path, path.stat().st_size // 2)
+        assert store.get(KEY) is None
+        assert store.integrity_evictions == 1
+
+    def test_fsync_knob_parses_common_truthy_values(self, monkeypatch):
+        for value, expected in (
+            ("1", True),
+            ("true", True),
+            (" YES ", True),
+            ("on", True),
+            ("", False),
+            ("0", False),
+            ("off", False),
+        ):
+            monkeypatch.setenv(DURABLE_FSYNC_ENV, value)
+            assert durable_fsync_enabled() is expected, value
+        monkeypatch.delenv(DURABLE_FSYNC_ENV)
+        assert durable_fsync_enabled() is False
+
+    def test_put_under_durable_fsync_roundtrips(self, store, monkeypatch):
+        monkeypatch.setenv(DURABLE_FSYNC_ENV, "1")
+        store.put(KEY, {"durable": True})
+        assert store.get(KEY) == {"durable": True}
+        assert store.tmp_files() == []

@@ -194,8 +194,9 @@ class TestClientErrors:
 
     @pytest.mark.parametrize("fixture", ["lossless_bz2", "lossy_gz"])
     def test_bit_flipped_golden_container_is_a_400(self, call, tmp_path, fixture):
-        # Flip one bit inside a chunk payload: the archive still parses, the
-        # codec must reject the corrupt stream — as a 400, not a 500.
+        # Flip one bit inside a chunk payload: the archive still parses, but
+        # the chunk fails its recorded digest — a 400 naming the damage, not
+        # a 500 (and never a silently wrong decode).
         corrupt = tmp_path / fixture
         shutil.copytree(GOLDEN / fixture, corrupt)
         chunk = sorted(path for path in corrupt.iterdir() if not path.name.startswith("INFO"))[0]
@@ -204,7 +205,7 @@ class TestClientErrors:
         chunk.write_bytes(bytes(data))
         status, _, body = call("POST", "/v1/decompress", pack_container(corrupt))
         assert status == 400, body
-        assert b"corrupt or truncated" in body
+        assert b"digest mismatch" in body
 
     def test_unknown_codec_parameters_are_400s(self, call):
         raw = b"\x00" * 16
@@ -327,3 +328,63 @@ class TestServerHygiene:
         while spools() != before and time.monotonic() < deadline:
             time.sleep(0.02)
         assert spools() == before
+
+
+class TestIntegrityEvictions:
+    """Corrupt cached containers are evicted and re-encoded, never re-served."""
+
+    def test_corrupt_cached_container_is_evicted_and_reencoded(self, tmp_path):
+        from repro.testing.faults import flip_bit
+
+        config = ServiceConfig(
+            port=0,
+            max_connections=8,
+            workers=1,
+            request_timeout=60.0,
+            cache_dir=str(tmp_path / "cache"),
+        )
+        with BackgroundServer(config) as running:
+            assert running.wait_ready(10.0)
+
+            def call(method, path, body=None):
+                connection = http.client.HTTPConnection(
+                    "127.0.0.1", running.port, timeout=30
+                )
+                try:
+                    connection.request(method, path, body=body)
+                    response = connection.getresponse()
+                    return response.status, dict(response.getheaders()), response.read()
+                finally:
+                    connection.close()
+
+            raw = make_trace(9_000, 321).tobytes()
+            path = "/v1/compress?mode=c&backend=bz2"
+            status, first_headers, first = call("POST", path, raw)
+            assert status == 200 and first_headers["X-Atc-Cache"] == "miss"
+            key = first_headers["X-Atc-Key"]
+
+            # Bit-rot one chunk of the cached container behind the server's back.
+            container_dir = tmp_path / "cache" / "containers" / key
+            chunk = sorted(
+                p for p in container_dir.iterdir() if not p.name.startswith("INFO.")
+            )[0]
+            flip_bit(chunk, 21)
+
+            # The poisoned entry is a *miss* (evicted + re-encoded), and the
+            # served bytes are identical to the pre-corruption response —
+            # the corrupt copy was never re-served.
+            status, second_headers, second = call("POST", path, raw)
+            assert status == 200
+            assert second_headers["X-Atc-Cache"] == "miss"
+            assert second == first
+
+            # The healed entry serves as a normal hit again.
+            status, third_headers, third = call("POST", path, raw)
+            assert status == 200
+            assert third_headers["X-Atc-Cache"] == "hit"
+            assert third == first
+
+            _, _, metrics = call("GET", "/v1/metrics")
+            metrics = json.loads(metrics)
+            assert metrics["cache"]["integrity_evictions"] == 1
+        assert running.exit_code == 0

@@ -93,8 +93,10 @@ class TestBin2Atc:
 
 
 class TestAtc2Bin:
-    def test_missing_container_fails_cleanly(self, tmp_path):
-        assert atc2bin_main([str(tmp_path / "missing")]) == 1
+    def test_missing_container_is_a_usage_error(self, tmp_path):
+        # A path that is not an ATC container at all is exit 2 (usage),
+        # distinct from exit 1 (a real container that fails mid-decode).
+        assert atc2bin_main([str(tmp_path / "missing")]) == 2
 
 
 class TestJobsFlag:
@@ -343,7 +345,7 @@ class TestInspect:
         assert "bits per address" in captured
 
     def test_inspect_missing_container(self, tmp_path):
-        assert inspect_main([str(tmp_path / "missing")]) == 1
+        assert inspect_main([str(tmp_path / "missing")]) == 2
 
 
 @pytest.fixture
@@ -432,3 +434,173 @@ class TestZooSubcommand:
         }
         assert all(entry["family"] == "stream" for entry in entries)
         assert all(entry["cores"] == 1 for entry in entries)
+
+
+@pytest.fixture
+def small_container(tmp_path, raw_trace_file):
+    """A freshly encoded multi-chunk lossless container for damage tests."""
+    container = tmp_path / "container"
+    assert (
+        bin2atc_main(
+            [
+                str(container),
+                "--lossless",
+                "--input",
+                str(raw_trace_file),
+                "--buffer-addresses",
+                "10000",
+            ]
+        )
+        == 0
+    )
+    return container
+
+
+class TestContainerOpenFailures:
+    """Things that are not ATC containers: typed error naming the file, exit 2."""
+
+    def test_empty_file_is_not_a_container(self, tmp_path, capsys):
+        target = tmp_path / "empty.atc"
+        target.write_bytes(b"")
+        assert atc2bin_main([str(target)]) == 2
+        err = capsys.readouterr().err
+        assert "empty.atc" in err and "not an ATC container" in err
+
+    def test_empty_info_stream_is_exit_2(self, tmp_path, capsys):
+        container = tmp_path / "c"
+        container.mkdir()
+        (container / "INFO.bz2").write_bytes(b"")
+        assert atc2bin_main([str(container)]) == 2
+        err = capsys.readouterr().err
+        assert "INFO.bz2" in err and "not an ATC container" in err
+
+    def test_short_magic_is_exit_2(self, tmp_path, capsys):
+        import bz2
+
+        container = tmp_path / "c"
+        container.mkdir()
+        (container / "INFO.bz2").write_bytes(bz2.compress(b"ATC?"))
+        assert atc2bin_main([str(container)]) == 2
+        err = capsys.readouterr().err
+        assert "not an ATC container" in err
+
+    def test_mid_header_truncation_is_exit_2(self, tmp_path, capsys):
+        import bz2
+        import struct
+
+        container = tmp_path / "c"
+        container.mkdir()
+        # Header claims 999 bytes of JSON; the body ends after one byte.
+        body = b"ATCINFO1" + struct.pack("<I", 999) + b"{"
+        (container / "INFO.bz2").write_bytes(bz2.compress(body))
+        assert atc2bin_main([str(container)]) == 2
+        err = capsys.readouterr().err
+        assert "not an ATC container" in err
+
+    def test_inspect_uses_the_same_exit_code(self, tmp_path, capsys):
+        target = tmp_path / "empty.atc"
+        target.write_bytes(b"")
+        assert inspect_main([str(target)]) == 2
+        assert "not an ATC container" in capsys.readouterr().err
+
+    def test_integrity_damage_mid_decode_is_exit_1(self, small_container, capsys):
+        from repro.testing.faults import flip_bit
+
+        chunks = sorted(
+            p for p in small_container.iterdir() if not p.name.startswith("INFO.")
+        )
+        flip_bit(chunks[0], 17)
+        # The container *opens* fine (INFO intact) but decode hits damage:
+        # a runtime failure (1), not a usage error (2).
+        assert atc2bin_main([str(small_container), "--output", "/dev/null"]) == 1
+        err = capsys.readouterr().err
+        assert "digest mismatch" in err
+
+
+class TestInspectVerify:
+    def test_verify_passes_on_a_clean_container(self, small_container, capsys):
+        assert inspect_main([str(small_container), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "verify" in out and "ok" in out
+
+    def test_verify_reports_a_damage_table_and_exit_1(self, small_container, capsys):
+        from repro.testing.faults import flip_bit
+
+        chunks = sorted(
+            p for p in small_container.iterdir() if not p.name.startswith("INFO.")
+        )
+        flip_bit(chunks[1], 3)
+        assert inspect_main([str(small_container), "--verify"]) == 1
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.err
+        assert chunks[1].name in captured.err
+        assert "digest-mismatch" in captured.err
+
+
+class TestFsckSubcommand:
+    def test_clean_container_exits_0(self, small_container, capsys):
+        assert main(["fsck", str(small_container)]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_damage_exits_1_and_names_the_chunk(self, small_container, capsys):
+        from repro.testing.faults import flip_bit
+
+        chunks = sorted(
+            p for p in small_container.iterdir() if not p.name.startswith("INFO.")
+        )
+        flip_bit(chunks[0], 12)
+        assert main(["fsck", str(small_container)]) == 1
+        captured = capsys.readouterr()
+        assert "damage found" in captured.out
+        assert chunks[0].name in captured.out + captured.err
+
+    def test_not_a_container_exits_2(self, tmp_path, capsys):
+        assert main(["fsck", str(tmp_path / "nothing")]) == 2
+        assert "not an ATC container" in capsys.readouterr().err
+
+    def test_repair_writes_a_salvaged_container(self, small_container, capsys):
+        import json as json_module
+
+        from repro.core.atc import AtcDecoder
+        from repro.testing.faults import flip_bit
+
+        chunks = sorted(
+            p for p in small_container.iterdir() if not p.name.startswith("INFO.")
+        )
+        flip_bit(chunks[-1], 9)
+        salvaged = small_container.parent / "salvaged"
+        assert main(["fsck", str(small_container), "--repair", "-o", str(salvaged)]) == 1
+        out = capsys.readouterr().out
+        assert "salvage" in out.lower()
+        # The salvage decodes (damage was the last chunk, so a clean prefix).
+        assert main(["fsck", str(salvaged)]) == 0
+        AtcDecoder(salvaged).read_all()
+
+    def test_json_format_reports_structured_verdicts(self, small_container, capsys):
+        import json as json_module
+
+        from repro.testing.faults import flip_bit
+
+        chunks = sorted(
+            p for p in small_container.iterdir() if not p.name.startswith("INFO.")
+        )
+        flip_bit(chunks[0], 12)
+        assert main(["fsck", str(small_container), "-f", "json"]) == 1
+        document = json_module.loads(capsys.readouterr().out)
+        assert document["kind"] == "container"
+        assert document["ok"] is False
+        statuses = [c["status"] for c in document["containers"][0]["chunks"]]
+        assert statuses.count("digest-mismatch") == 1
+
+    def test_fsck_scrubs_a_sweep_store(self, tmp_path, capsys):
+        from repro.experiments.store import ResultStore
+
+        store_dir = tmp_path / "cache"
+        ResultStore(store_dir).put("ab" * 32, {"metric": 1})
+        assert main(["fsck", str(store_dir)]) == 0
+        entry = store_dir / ("ab" * 32 + ".json")
+        entry.write_text(entry.read_text().replace("1", "7"))
+        assert main(["fsck", str(store_dir)]) == 1
+        captured = capsys.readouterr()
+        assert "digest-mismatch" in captured.out + captured.err

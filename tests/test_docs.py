@@ -31,14 +31,17 @@ _DOCS = _REPO / "docs"
 _GOLDEN = Path(__file__).resolve().parent / "data" / "golden"
 
 # Constants exactly as documented in docs/atc-format.md.
-_INFO_MAGIC = b"ATCINFO1"
+_INFO_MAGIC_V1 = b"ATCINFO1"
+_INFO_MAGIC_V2 = b"ATCINFO2"
+_FOOTER_BYTES = 32
+_CHUNK_DIGEST_HEX = 16
 _CHUNK_MAGIC = b"ATCL"
 _RECORD_FIXED = struct.Struct("<BII")
 _CHUNK_HEADER = struct.Struct("<4sBQQ")
 _TRANSLATION_BYTES = 8 * 256
 _DECOMPRESS = {"bz2": bz2.decompress, "zlib": zlib.decompress, "lzma": lzma.decompress}
 
-_DOC_METADATA_KEYS = (
+_DOC_METADATA_KEYS_V1 = (
     "format",
     "format_version",
     "mode",
@@ -50,10 +53,18 @@ _DOC_METADATA_KEYS = (
     "enable_translation",
     "num_chunks",
 )
+# Format v2 adds exactly one key: the per-chunk digest table.
+_DOC_METADATA_KEYS_V2 = _DOC_METADATA_KEYS_V1 + ("chunk_digests",)
 
 
 def _golden_containers():
-    return sorted(path for path in _GOLDEN.iterdir() if path.is_dir())
+    """Top-level (format v2) golden containers — dirs holding an INFO stream."""
+    return sorted(path for path in _GOLDEN.iterdir() if path.is_dir() and any(path.glob("INFO.*")))
+
+
+def _golden_v1_containers():
+    """The committed format-v1 twins under tests/data/golden/v1/."""
+    return sorted(path for path in (_GOLDEN / "v1").iterdir() if path.is_dir())
 
 
 def _container_suffix(container: Path) -> str:
@@ -62,10 +73,24 @@ def _container_suffix(container: Path) -> str:
 
 
 def _parse_info_per_spec(container: Path):
-    """Parse INFO.<suffix> following docs/atc-format.md, not the library."""
+    """Parse INFO.<suffix> following docs/atc-format.md, not the library.
+
+    Handles both documented format versions: v1 bodies start with
+    ``ATCINFO1``; v2 bodies start with ``ATCINFO2`` and end with a 32-byte
+    SHA-256 footer over every preceding body byte, verified here with
+    ``hashlib`` alone.
+    """
+    import hashlib
+
     suffix = _container_suffix(container)
     body = _DECOMPRESS[suffix]((container / f"INFO.{suffix}").read_bytes())
-    assert body[:8] == _INFO_MAGIC, "INFO body must start with the documented magic"
+    assert body[:8] in (_INFO_MAGIC_V1, _INFO_MAGIC_V2), "INFO must start with a documented magic"
+    if body[:8] == _INFO_MAGIC_V2:
+        payload, footer = body[:-_FOOTER_BYTES], body[-_FOOTER_BYTES:]
+        assert hashlib.sha256(payload).digest() == footer, (
+            "v2 footer is the SHA-256 of every preceding body byte"
+        )
+        body = payload
     (header_length,) = struct.unpack_from("<I", body, 8)
     metadata = json.loads(body[12 : 12 + header_length].decode("utf-8"))
     offset = 12 + header_length
@@ -91,7 +116,8 @@ class TestDocsStructure:
     def test_docs_directory_has_the_promised_pages(self):
         for page in ("index.md", "architecture.md", "paper-map.md", "atc-format.md",
                      "trace-formats.md", "workloads.md", "experiments.md",
-                     "distributed-sweeps.md", "performance.md", "service.md", "cli.md"):
+                     "distributed-sweeps.md", "performance.md", "service.md", "cli.md",
+                     "robustness.md"):
             assert (_DOCS / page).is_file(), f"docs/{page} missing"
 
     def test_mkdocs_nav_targets_exist(self):
@@ -131,7 +157,13 @@ class TestDocsStructure:
 class TestAtcFormatSpecAgainstGoldenFixtures:
     """The independent, documentation-driven parser agrees with the library."""
 
-    @pytest.fixture(scope="class", params=[p.name for p in _golden_containers()])
+    @pytest.fixture(
+        scope="class",
+        params=[
+            str(p.relative_to(_GOLDEN))
+            for p in (*_golden_containers(), *_golden_v1_containers())
+        ],
+    )
     def container(self, request):
         return _GOLDEN / request.param
 
@@ -155,11 +187,34 @@ class TestAtcFormatSpecAgainstGoldenFixtures:
 
     def test_info_metadata_matches_documented_schema(self, container):
         metadata, _ = _parse_info_per_spec(container)
-        assert sorted(metadata) == sorted(_DOC_METADATA_KEYS)
+        is_v1 = container.parent.name == "v1"
+        expected_keys = _DOC_METADATA_KEYS_V1 if is_v1 else _DOC_METADATA_KEYS_V2
+        assert sorted(metadata) == sorted(expected_keys)
         assert metadata["format"] == "atc"
-        assert metadata["format_version"] == 1
+        assert metadata["format_version"] == (1 if is_v1 else 2)
         assert metadata["mode"] == ("lossy" if container.name.startswith("lossy") else "lossless")
         assert metadata["backend"] == _container_suffix(container)
+
+    def test_v2_chunk_digests_match_the_documented_hash(self, container):
+        """Recompute each chunk digest per the spec: SHA-256 of the raw
+        chunk-file bytes, truncated to the first 16 hex characters."""
+        import hashlib
+
+        metadata, _ = _parse_info_per_spec(container)
+        if metadata["format_version"] == 1:
+            assert "chunk_digests" not in metadata
+            return
+        digests = metadata["chunk_digests"]
+        suffix = _container_suffix(container)
+        chunk_files = {
+            int(p.name.split(".")[0]) - 1: p
+            for p in container.iterdir()
+            if p.name[0].isdigit()
+        }
+        assert sorted(digests) == sorted(str(i) for i in chunk_files)
+        for chunk_id, path in chunk_files.items():
+            recomputed = hashlib.sha256(path.read_bytes()).hexdigest()[:_CHUNK_DIGEST_HEX]
+            assert digests[str(chunk_id)] == recomputed, f"chunk {chunk_id + 1}.{suffix}"
 
     def test_interval_trace_is_consistent_with_chunk_files(self, container):
         metadata, records = _parse_info_per_spec(container)
@@ -201,8 +256,9 @@ class TestAtcFormatSpecAgainstGoldenFixtures:
 
     def test_documented_constants_appear_in_the_spec_page(self):
         spec = (_DOCS / "atc-format.md").read_text(encoding="utf-8")
-        for constant in ("ATCINFO1", "ATCL", "'<BII'", "'<4sBQQ'", "2048",
-                         "original_length", "u32 header_length"):
+        for constant in ("ATCINFO1", "ATCINFO2", "ATCL", "'<BII'", "'<4sBQQ'", "2048",
+                         "original_length", "u32 header_length", "chunk_digests",
+                         "SHA-256", "footer"):
             assert constant in spec, f"atc-format.md no longer documents {constant}"
 
 

@@ -34,6 +34,7 @@ _PUBLIC_MODULES = (
     "repro.service",
     "repro.cli",
     "repro.errors",
+    "repro.testing",
 )
 
 #: Headline entry points that must keep a runnable Example in their docstring.
